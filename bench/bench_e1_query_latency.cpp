@@ -1,0 +1,54 @@
+// E1 — Query latency: m-sequential consistency vs m-linearizability.
+//
+// Paper hook (§5.1 vs §5.2): Figure 4 answers queries from the local
+// copy (zero messages, zero added latency); Figure 6 must contact every
+// process and wait for all replies, so query latency grows with the
+// round-trip to the slowest replica. Expected shape: m-seq query latency
+// ~ 0 regardless of n; m-lin query latency ~ one round trip, mildly
+// increasing with n (max over n-1 samples of the delay distribution).
+//
+// Counters (virtual ticks): q_mean, q_p99, u_mean, u_p99.
+#include "common.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void QueryLatency(::benchmark::State& state, const std::string& protocol,
+                  const std::string& delay) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunResult result;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = protocol;
+    config.num_processes = n;
+    config.num_objects = 16;
+    config.delay = delay;
+    config.seed = 42 + state.iterations();
+    protocols::WorkloadParams params;
+    params.ops_per_process = 40;
+    params.update_ratio = 0.2;  // query-heavy: the contrast under test
+    params.footprint = 2;
+    result = run_experiment(config, params);
+  }
+  set_latency_counters(state, result.report);
+  state.counters["queries"] = static_cast<double>(result.report.queries);
+}
+
+void register_all() {
+  for (const char* protocol : {"mseq", "mlin", "mlin-narrow", "mlin-bcastq"}) {
+    for (const char* delay : {"lan", "wan"}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E1/query_latency/") + protocol + "/" + delay).c_str(),
+          [protocol, delay](::benchmark::State& state) {
+            QueryLatency(state, protocol, delay);
+          });
+      b->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

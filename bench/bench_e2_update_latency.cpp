@@ -1,0 +1,57 @@
+// E2 — Update latency: one atomic broadcast, under both protocols and
+// both broadcast algorithms.
+//
+// Paper hook (§5): updates cost exactly one atomic broadcast in Figure 4
+// AND Figure 6 (actions A1/A2 are identical), so update latency should be
+// indistinguishable between the two protocols and determined entirely by
+// the broadcast algorithm: the fixed sequencer needs submit + fan-out
+// (~2 delays, 1 for the sequencer's own updates); ISIS needs
+// propose + proposal + final (~3 delays and a max over replicas), so
+// ISIS updates are slower and degrade faster with n.
+//
+// Counters (virtual ticks): u_mean, u_p99.
+#include "common.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void UpdateLatency(::benchmark::State& state, const std::string& protocol,
+                   const std::string& broadcast) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunResult result;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = protocol;
+    config.broadcast = broadcast;
+    config.num_processes = n;
+    config.num_objects = 16;
+    config.delay = "lan";
+    config.seed = 7 + state.iterations();
+    protocols::WorkloadParams params;
+    params.ops_per_process = 40;
+    params.update_ratio = 1.0;  // updates only
+    params.footprint = 2;
+    result = run_experiment(config, params);
+  }
+  set_latency_counters(state, result.report);
+  state.counters["updates"] = static_cast<double>(result.report.updates);
+}
+
+void register_all() {
+  for (const char* protocol : {"mseq", "mlin"}) {
+    for (const char* broadcast : {"sequencer", "isis"}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E2/update_latency/") + protocol + "/" + broadcast).c_str(),
+          [protocol, broadcast](::benchmark::State& state) {
+            UpdateLatency(state, protocol, broadcast);
+          });
+      b->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

@@ -1,0 +1,58 @@
+// E3 — Message complexity per m-operation.
+//
+// Paper hook (§5.2): an m-lin query costs 2(n-1) messages ("query" to all
+// + replies); an m-seq query costs 0; an update costs one atomic
+// broadcast — n-1 (+1 remote submit) for the sequencer, 3(n-1) for ISIS.
+// Sweeping the update ratio shifts the per-op average between the query
+// and update costs; sweeping n shows the linear growth. The §5.2 remark
+// (narrow replies) shows up in bytes/op, not messages/op.
+//
+// Counters: msg_per_op, bytes_per_op.
+#include "common.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void MessageComplexity(::benchmark::State& state, const std::string& protocol,
+                       double update_ratio) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunResult result;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = protocol;
+    config.num_processes = n;
+    config.num_objects = 16;
+    config.delay = "lan";
+    config.seed = 11 + state.iterations();
+    protocols::WorkloadParams params;
+    params.ops_per_process = 40;
+    params.update_ratio = update_ratio;
+    params.footprint = 2;
+    result = run_experiment(config, params);
+  }
+  const double ops =
+      static_cast<double>(result.report.queries + result.report.updates);
+  state.counters["msg_per_op"] = static_cast<double>(result.traffic.messages) / ops;
+  state.counters["bytes_per_op"] = static_cast<double>(result.traffic.bytes) / ops;
+}
+
+void register_all() {
+  for (const char* protocol :
+       {"mseq", "mlin", "mlin-narrow", "mlin-bcastq", "locking", "aggregate"}) {
+    for (const double ratio : {0.0, 0.2, 0.5, 1.0}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E3/messages/") + protocol + "/u" +
+              std::to_string(static_cast<int>(ratio * 100))).c_str(),
+          [protocol, ratio](::benchmark::State& state) {
+            MessageComplexity(state, protocol, ratio);
+          });
+      b->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

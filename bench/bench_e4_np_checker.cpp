@@ -1,0 +1,156 @@
+// E4 — The NP-completeness of verification, experimentally.
+//
+// Paper hook (Theorems 1-2): deciding m-sequential consistency or
+// m-linearizability of a history is NP-complete even with reads-from
+// known. The exact checker's cost therefore grows exponentially with the
+// number of m-operations on adversarial inputs, while each step of the
+// search is cheap. This bench measures:
+//   - wall time and states visited of the exact checker on free (mixed
+//     admissible/inadmissible) histories as m grows;
+//   - the same on admissible-by-construction histories (the "yes"
+//     side is often easier: a witness can be found greedily);
+//   - the effect of the ~rw-pruning and memoization options;
+//   - m-linearizability vs m-sequential consistency (the real-time edges
+//     prune the search, so m-SC — fewer constraints, more freedom —
+//     is the harder verification problem).
+//
+// Counter: states = exact-checker states visited (averaged over seeds).
+#include "common.hpp"
+#include "core/admissibility.hpp"
+#include "core/generate.hpp"
+#include "txn/generate.hpp"
+#include "txn/reduction.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::bench {
+namespace {
+
+using core::AdmissibilityOptions;
+using core::Condition;
+using core::GeneratorParams;
+
+GeneratorParams params_for(std::size_t mops) {
+  GeneratorParams params;
+  params.num_mops = mops;
+  // Few processes + few objects + many writers = weakly constrained
+  // orders with many interchangeable writes: the hard regime.
+  params.num_processes = 3;
+  params.num_objects = 2;
+  params.write_probability = 0.8;
+  params.min_ops_per_mop = 1;
+  params.max_ops_per_mop = 2;
+  return params;
+}
+
+void ExactChecker(::benchmark::State& state, Condition condition, bool free_family,
+                  bool memoize, bool rw_prune) {
+  const auto mops = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2025);
+  double states_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto h = free_family ? core::generate_free_history(params_for(mops), rng)
+                         : core::generate_admissible_history(params_for(mops), rng);
+    AdmissibilityOptions options;
+    options.use_rw_pruning = rw_prune;
+    options.use_memoization = memoize;
+    options.max_states = 50'000'000;
+    state.ResumeTiming();
+
+    const auto result = core::check_condition(h, condition, options);
+    ::benchmark::DoNotOptimize(result.admissible);
+    states_total += static_cast<double>(result.states_visited);
+    ++runs;
+  }
+  state.counters["states"] =
+      ::benchmark::Counter(states_total / static_cast<double>(runs));
+}
+
+/// Theorem-2 instances: random interleaved schedules pushed through the
+/// reduction — checking the resulting history for m-linearizability IS
+/// deciding strict view serializability, the problem the paper reduces
+/// from. These inherit the NP-hard structure directly.
+void ReducedSchedules(::benchmark::State& state, bool prune) {
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4242);
+  txn::ScheduleParams params;
+  params.num_txns = txns;
+  params.num_entities = 2;
+  params.min_actions_per_txn = 2;
+  params.max_actions_per_txn = 3;
+  params.write_probability = 0.7;
+  double states_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    txn::Schedule schedule = txn::generate_interleaved_schedule(params, rng);
+    auto reduced = txn::reduce_to_history(schedule);
+    while (!reduced.feasible) {
+      schedule = txn::generate_interleaved_schedule(params, rng);
+      reduced = txn::reduce_to_history(schedule);
+    }
+    AdmissibilityOptions options;
+    options.use_rw_pruning = prune;
+    options.use_memoization = prune;
+    options.max_states = 50'000'000;
+    state.ResumeTiming();
+
+    const auto result =
+        core::check_condition(reduced.history, Condition::kMLinearizability, options);
+    ::benchmark::DoNotOptimize(result.admissible);
+    states_total += static_cast<double>(result.states_visited);
+    ++runs;
+  }
+  state.counters["states"] =
+      ::benchmark::Counter(states_total / static_cast<double>(runs));
+}
+
+void register_all() {
+  ::benchmark::RegisterBenchmark("E4/reduction/mlin/pruned",
+                                 [](::benchmark::State& s) {
+                                   ReducedSchedules(s, true);
+                                 })
+      ->DenseRange(4, 12, 2)
+      ->Unit(::benchmark::kMicrosecond);
+  ::benchmark::RegisterBenchmark("E4/reduction/mlin/raw",
+                                 [](::benchmark::State& s) {
+                                   ReducedSchedules(s, false);
+                                 })
+      ->DenseRange(4, 12, 2)
+      ->Unit(::benchmark::kMicrosecond);
+  struct Variant {
+    const char* name;
+    Condition condition;
+    bool free_family;
+    bool memoize;
+    bool rw_prune;
+  };
+  // The memoization and ~rw-pruning ablation is split so each lever's
+  // contribution is measurable on its own.
+  const Variant variants[] = {
+      {"E4/exact/msc/free/memo+rw", Condition::kMSequentialConsistency, true, true,
+       true},
+      {"E4/exact/msc/free/memo-only", Condition::kMSequentialConsistency, true, true,
+       false},
+      {"E4/exact/msc/free/rw-only", Condition::kMSequentialConsistency, true, false,
+       true},
+      {"E4/exact/msc/free/raw", Condition::kMSequentialConsistency, true, false,
+       false},
+      {"E4/exact/mlin/free/memo+rw", Condition::kMLinearizability, true, true, true},
+      {"E4/exact/msc/admissible/memo+rw", Condition::kMSequentialConsistency, false,
+       true, true},
+  };
+  for (const auto& v : variants) {
+    auto* b = ::benchmark::RegisterBenchmark(v.name, [v](::benchmark::State& state) {
+      ExactChecker(state, v.condition, v.free_family, v.memoize, v.rw_prune);
+    });
+    b->DenseRange(6, 18, 2);
+    b->Unit(::benchmark::kMicrosecond);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

@@ -1,0 +1,81 @@
+// E6 — The §5 protocols vs a 2PL deployment vs the aggregate-object
+// strawman.
+//
+// Paper hooks:
+//   §1: "if there are n read-write registers and one multi-method sum …
+//   the technique will force all registers to be treated as one object.
+//   This results in loss of locality and concurrency." — the `aggregate`
+//   baseline IS that technique; expect throughput to flatline as objects
+//   grow because everything serializes through one lock.
+//   §5: the broadcast protocols pay one abcast per update regardless of
+//   footprint, while conservative 2PL pays one sequential lock round
+//   trip per object — expect locking latency to grow linearly with
+//   footprint while mseq/mlin stay flat.
+//
+// Throughput = completed m-operations per 1000 virtual ticks.
+// Counters: tput, u_mean, q_mean.
+#include "common.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void Baselines(::benchmark::State& state, const std::string& protocol,
+               std::size_t num_objects, std::size_t footprint) {
+  RunResult result;
+  sim::SimTime virtual_time = 1;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = protocol;
+    config.num_processes = 8;
+    config.num_objects = num_objects;
+    config.delay = "lan";
+    config.seed = 5 + state.iterations();
+
+    api::System system(config);
+    protocols::WorkloadParams params;
+    params.ops_per_process = 30;
+    params.update_ratio = 0.5;
+    params.footprint = footprint;
+    result.report = system.run_workload(params);
+    // Recover end-to-end virtual time from the recorded history.
+    const auto h = system.history();
+    virtual_time = 1;
+    for (core::MOpId id = 0; id < h.size(); ++id) {
+      virtual_time = std::max(virtual_time, h.mop(id).response());
+    }
+  }
+  const double ops =
+      static_cast<double>(result.report.queries + result.report.updates);
+  state.counters["tput"] = ops * 1000.0 / static_cast<double>(virtual_time);
+  set_latency_counters(state, result.report);
+}
+
+void register_all() {
+  for (const char* protocol : {"mseq", "mlin", "locking", "aggregate"}) {
+    // Concurrency sweep: more objects = less contention; the aggregate
+    // strawman cannot exploit it.
+    for (const std::size_t objects : {2, 8, 32}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E6/objects/") + protocol + "/x" + std::to_string(objects)).c_str(),
+          [protocol, objects](::benchmark::State& state) {
+            Baselines(state, protocol, objects, 2);
+          });
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+    // Footprint sweep: broadcast pays one abcast regardless; 2PL pays
+    // one lock round trip per object.
+    for (const std::size_t footprint : {1, 2, 4, 8}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E6/footprint/") + protocol + "/f" + std::to_string(footprint)).c_str(),
+          [protocol, footprint](::benchmark::State& state) {
+            Baselines(state, protocol, 32, footprint);
+          });
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

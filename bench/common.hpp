@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benchmarks (E1-E7).
+//
+// Simulation experiments report *virtual-time* latencies and message
+// counts through benchmark counters (wall time of a simulation is
+// meaningless for the protocols); checker experiments (E4/E5) use
+// google-benchmark's wall-clock timing directly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/system.hpp"
+#include "protocols/workload.hpp"
+
+namespace mocc::bench {
+
+struct RunResult {
+  protocols::WorkloadReport report;
+  sim::TrafficStats traffic;
+  sim::SimTime virtual_time = 0;
+  bool audit_ok = true;
+  std::size_t history_size = 0;
+};
+
+/// Builds a system, drives the closed-loop workload, and collects the
+/// metrics every simulation experiment reports.
+inline RunResult run_experiment(const api::SystemConfig& config,
+                                const protocols::WorkloadParams& params,
+                                bool run_audit = false) {
+  api::System system(config);
+  RunResult result;
+  result.report = system.run_workload(params);
+  result.traffic = system.traffic();
+  result.history_size = system.history().size();
+  if (run_audit && system.supports_audit()) {
+    result.audit_ok = system.audit().ok;
+  }
+  return result;
+}
+
+/// Standard latency counters from a workload report.
+inline void set_latency_counters(::benchmark::State& state,
+                                 const protocols::WorkloadReport& report) {
+  if (!report.query_latency.empty()) {
+    state.counters["q_mean"] = report.query_latency.mean();
+    state.counters["q_p99"] = report.query_latency.percentile(99.0);
+  }
+  if (!report.update_latency.empty()) {
+    state.counters["u_mean"] = report.update_latency.mean();
+    state.counters["u_p99"] = report.update_latency.percentile(99.0);
+  }
+}
+
+}  // namespace mocc::bench

@@ -1,0 +1,20 @@
+#include "abcast/abcast.hpp"
+
+#include "abcast/isis.hpp"
+#include "abcast/sequencer.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::abcast {
+
+AbcastFactory make_abcast_factory(const std::string& name) {
+  if (name == "sequencer") {
+    return [] { return std::make_unique<SequencerAbcast>(); };
+  }
+  if (name == "isis") {
+    return [] { return std::make_unique<IsisAbcast>(); };
+  }
+  MOCC_ASSERT_MSG(false, "unknown atomic broadcast name (sequencer|isis)");
+  return nullptr;
+}
+
+}  // namespace mocc::abcast

@@ -1,0 +1,73 @@
+// ISIS-style agreed-order atomic broadcast (Birman & Joseph).
+//
+// Decentralized total order from Lamport-clock proposals:
+//   1. the origin sends PROPOSE(payload) to every other node and makes
+//      its own proposal;
+//   2. every node answers PROPOSAL(c, node) where c is its bumped
+//      logical clock — the pair (c, node) is globally unique;
+//   3. the origin picks the lexicographic maximum as the final timestamp
+//      and announces FINAL(c*, node*);
+//   4. messages deliver in final-timestamp order, once no pending
+//      message's (still growing) proposed timestamp could precede them.
+//
+// Correct under arbitrary message reordering: a FINAL that overtakes its
+// PROPOSE is buffered until the payload arrives; a message's final
+// timestamp is never smaller than any node's own proposal for it, which
+// is what makes the "minimal pending" delivery test safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "abcast/abcast.hpp"
+
+namespace mocc::abcast {
+
+class IsisAbcast final : public AtomicBroadcast {
+ public:
+  static constexpr std::uint32_t kPropose = kAbcastKindFirst + 10;
+  static constexpr std::uint32_t kProposal = kAbcastKindFirst + 11;
+  static constexpr std::uint32_t kFinal = kAbcastKindFirst + 12;
+
+  void broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) override;
+  bool on_message(sim::Context& ctx, const sim::Message& message) override;
+  std::string name() const override { return "isis"; }
+
+ private:
+  /// Globally-unique logical timestamp.
+  struct Stamp {
+    std::uint64_t clock = 0;
+    sim::NodeId node = 0;
+    bool operator<(const Stamp& other) const {
+      if (clock != other.clock) return clock < other.clock;
+      return node < other.node;
+    }
+  };
+  using MsgKey = std::pair<sim::NodeId, std::uint64_t>;  // (origin, msgid)
+
+  struct Pending {
+    std::vector<std::uint8_t> payload;
+    Stamp stamp;        // proposed (lower bound) until final
+    bool final = false;
+  };
+
+  /// Origin-side bookkeeping while collecting proposals.
+  struct Collecting {
+    Stamp max_proposal;
+    std::size_t responses = 0;
+  };
+
+  void handle_propose(sim::Context& ctx, sim::NodeId origin, std::uint64_t msgid,
+                      std::vector<std::uint8_t> payload);
+  void handle_proposal(sim::Context& ctx, std::uint64_t msgid, Stamp proposal);
+  void finalize(sim::Context& ctx, const MsgKey& key, Stamp final_stamp);
+  void try_deliver(sim::Context& ctx);
+
+  std::uint64_t lamport_ = 0;
+  std::uint64_t next_msgid_ = 0;
+  std::map<MsgKey, Pending> pending_;
+  std::map<std::uint64_t, Collecting> collecting_;  // my own msgid -> state
+  std::map<MsgKey, Stamp> early_finals_;            // FINAL overtook PROPOSE
+};
+
+}  // namespace mocc::abcast

@@ -1,0 +1,72 @@
+#include "abcast/sequencer.hpp"
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace mocc::abcast {
+
+void SequencerAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) {
+  if (ctx.self() == kSequencerNode) {
+    sequence_and_fan_out(ctx, ctx.self(), payload);
+    return;
+  }
+  util::ByteWriter out;
+  out.put_u32(ctx.self());
+  out.put_u64_vector({});  // reserved
+  out.put_string(std::string(payload.begin(), payload.end()));
+  ctx.send(kSequencerNode, kSubmit, out.take());
+}
+
+void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin,
+                                           const std::vector<std::uint8_t>& payload) {
+  MOCC_ASSERT(ctx.self() == kSequencerNode);
+  const std::uint64_t seq = next_seq_to_assign_++;
+  util::ByteWriter out;
+  out.put_u64(seq);
+  out.put_u32(origin);
+  out.put_string(std::string(payload.begin(), payload.end()));
+  ctx.send_to_others(kDeliver, out.bytes());
+  // Local delivery without a network hop.
+  accept(ctx, seq, origin, payload);
+}
+
+void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId origin,
+                             std::vector<std::uint8_t> payload) {
+  pending_[seq] = {origin, std::move(payload)};
+  while (true) {
+    const auto it = pending_.find(next_seq_to_deliver_);
+    if (it == pending_.end()) break;
+    MOCC_ASSERT_MSG(deliver_ != nullptr, "deliver callback not wired");
+    // Copy out before erasing: the callback may broadcast, mutating
+    // pending_ through nested sequencing on this node.
+    const sim::NodeId msg_origin = it->second.first;
+    const std::vector<std::uint8_t> msg_payload = std::move(it->second.second);
+    pending_.erase(it);
+    ++next_seq_to_deliver_;
+    deliver_(ctx, msg_origin, msg_payload);
+  }
+}
+
+bool SequencerAbcast::on_message(sim::Context& ctx, const sim::Message& message) {
+  if (message.kind == kSubmit) {
+    util::ByteReader in(message.payload);
+    const sim::NodeId origin = in.get_u32();
+    (void)in.get_u64_vector();
+    const std::string payload = in.get_string();
+    sequence_and_fan_out(ctx, origin,
+                         std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    return true;
+  }
+  if (message.kind == kDeliver) {
+    util::ByteReader in(message.payload);
+    const std::uint64_t seq = in.get_u64();
+    const sim::NodeId origin = in.get_u32();
+    const std::string payload = in.get_string();
+    accept(ctx, seq, origin,
+           std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mocc::abcast

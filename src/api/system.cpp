@@ -1,0 +1,161 @@
+#include "api/system.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "abcast/abcast.hpp"
+#include "protocols/locking_replica.hpp"
+#include "protocols/mlin_replica.hpp"
+#include "protocols/mseq_replica.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mocc::api {
+
+struct System::SubmitQueue {
+  struct Item {
+    sim::SimTime at = 0;
+    mscript::Program program;
+    std::function<void(const protocols::InvocationOutcome&)> on_response;
+  };
+  std::deque<Item> items;
+  bool busy = false;
+  /// Earliest time the next invocation may start: one tick after the
+  /// previous response (local step time). Enforced at pop so that
+  /// however many pump closures are in flight, spacing holds.
+  sim::SimTime not_before = 0;
+};
+
+System::System(const SystemConfig& config) : config_(config) {
+  MOCC_ASSERT(config.num_processes >= 1);
+  MOCC_ASSERT(config.num_objects >= 1);
+  util::Logger::init_from_env();  // MOCC_LOG=debug traces the simulation
+
+  recorder_ = std::make_unique<protocols::ExecutionRecorder>(config.num_processes,
+                                                             config.num_objects);
+  sim_ = std::make_unique<sim::Simulator>(sim::make_delay_model(config.delay),
+                                          config.seed);
+
+  const bool is_mseq = config.protocol == "mseq";
+  const bool is_mlin_bcastq = config.protocol == "mlin-bcastq";
+  const bool is_mlin = config.protocol == "mlin";
+  const bool is_mlin_narrow = config.protocol == "mlin-narrow";
+  const bool is_locking = config.protocol == "locking";
+  const bool is_aggregate = config.protocol == "aggregate";
+  MOCC_ASSERT_MSG(is_mseq || is_mlin_bcastq || is_mlin || is_mlin_narrow ||
+                      is_locking || is_aggregate,
+                  "unknown protocol (mseq|mlin|mlin-narrow|mlin-bcastq|locking|"
+                  "aggregate)");
+
+  for (std::size_t p = 0; p < config.num_processes; ++p) {
+    std::unique_ptr<protocols::Replica> replica;
+    if (is_mseq || is_mlin_bcastq) {
+      protocols::MSeqReplica::Options options;
+      options.broadcast_queries = is_mlin_bcastq;
+      replica = std::make_unique<protocols::MSeqReplica>(
+          config.num_objects, abcast::make_abcast_factory(config.broadcast)(),
+          *recorder_, options);
+    } else if (is_mlin || is_mlin_narrow) {
+      protocols::MLinReplica::Options options;
+      options.narrow_replies = is_mlin_narrow || config.narrow_replies;
+      replica = std::make_unique<protocols::MLinReplica>(
+          config.num_objects, abcast::make_abcast_factory(config.broadcast)(),
+          *recorder_, options);
+    } else {
+      protocols::LockingReplica::Options options;
+      options.aggregate = is_aggregate;
+      replica = std::make_unique<protocols::LockingReplica>(
+          config.num_objects, config.num_processes, *recorder_, options);
+    }
+    replicas_.push_back(replica.get());
+    sim_->add_node(std::move(replica));
+  }
+
+  queues_.resize(config.num_processes);
+  for (auto& queue : queues_) queue = std::make_shared<SubmitQueue>();
+}
+
+System::~System() = default;
+
+void System::submit(core::ProcessId process, sim::SimTime at, mscript::Program program,
+                    std::function<void(const protocols::InvocationOutcome&)> on_response) {
+  MOCC_ASSERT(process < config_.num_processes);
+  auto queue = queues_[process];
+  queue->items.push_back(SubmitQueue::Item{at, std::move(program),
+                                           std::move(on_response)});
+
+  // Pump closure: issues the head item once the process is idle and the
+  // item's requested time has arrived.
+  auto pump = std::make_shared<std::function<void()>>();
+  protocols::Replica* replica = replicas_[process];
+  sim::Simulator* simulator = sim_.get();
+  *pump = [queue, pump, replica, simulator, process]() {
+    if (queue->busy || queue->items.empty()) return;
+    const sim::SimTime start_at = std::max(queue->items.front().at, queue->not_before);
+    if (start_at > simulator->now()) {
+      simulator->schedule_call(start_at, [pump] { (*pump)(); });
+      return;
+    }
+    SubmitQueue::Item item = std::move(queue->items.front());
+    queue->items.pop_front();
+    queue->busy = true;
+    sim::Context ctx(*simulator, static_cast<sim::NodeId>(process));
+    auto callback = std::move(item.on_response);
+    replica->invoke(ctx, std::move(item.program),
+                    [queue, pump, simulator, callback](
+                        const protocols::InvocationOutcome& outcome) {
+                      queue->busy = false;
+                      // ≥1 tick of local step time before the process's
+                      // next invocation: keeps retry loops from spinning
+                      // at a frozen virtual instant (the sequencer's own
+                      // broadcasts complete in zero network time).
+                      queue->not_before = simulator->now() + 1;
+                      if (callback) callback(outcome);
+                      simulator->schedule_call(simulator->now() + 1,
+                                               [pump] { (*pump)(); });
+                    });
+  };
+  sim_->schedule_call(std::max(at, sim_->now() + 1), [pump] { (*pump)(); });
+}
+
+sim::SimTime System::run(sim::SimTime max_time) { return sim_->run(max_time); }
+
+sim::SimTime System::now() const { return sim_->now(); }
+
+protocols::WorkloadReport System::run_workload(const protocols::WorkloadParams& params) {
+  return protocols::run_workload(*sim_, replicas_, config_.num_objects, params,
+                                 config_.seed + 1);
+}
+
+core::History System::history() const { return recorder_->build_history(); }
+
+bool System::supports_audit() const {
+  return config_.protocol == "mseq" || config_.protocol == "mlin" ||
+         config_.protocol == "mlin-narrow" || config_.protocol == "mlin-bcastq";
+}
+
+core::AuditReport System::audit() const {
+  MOCC_ASSERT_MSG(supports_audit(), "audit requires a §5 protocol (mseq/mlin)");
+  const core::History h = history();
+  const core::ProtocolTrace trace =
+      recorder_->build_trace(h, /*include_process_order=*/config_.protocol == "mseq");
+  return core::audit_protocol_execution(h, trace);
+}
+
+core::FastCheckResult System::check_fast(core::Condition condition) const {
+  MOCC_ASSERT_MSG(supports_audit(),
+                  "fast check needs the recorded ~ww of a §5 protocol");
+  const core::History h = history();
+  return core::fast_check_condition(h, condition, recorder_->build_ww_order(),
+                                    core::Constraint::kWW);
+}
+
+core::AdmissibilityResult System::check_exact(
+    core::Condition condition, const core::AdmissibilityOptions& options) const {
+  const core::History h = history();
+  return core::check_condition(h, condition, options);
+}
+
+const sim::TrafficStats& System::traffic() const { return sim_->traffic(); }
+
+}  // namespace mocc::api

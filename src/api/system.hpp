@@ -1,0 +1,111 @@
+// mocc public API: a replicated multi-object store with a selectable
+// consistency protocol, running on the deterministic simulator.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   mocc::api::SystemConfig config;
+//   config.num_processes = 4;
+//   config.num_objects = 8;
+//   config.protocol = "mlin";                       // m-linearizability
+//   mocc::api::System system(config);
+//
+//   system.submit(0, 1, mocc::mscript::lib::make_dcas(0, 1, 0, 0, 7, 8),
+//                 [](const mocc::protocols::InvocationOutcome& out) { ... });
+//   system.run();
+//
+//   auto history = system.history();                // checkable record
+//   auto audit = system.audit();                    // P5.x oracles
+//   auto fast = system.check_fast(
+//       mocc::core::Condition::kMLinearizability);  // Theorem 7
+//
+// Protocols: "mseq" (Figure 4), "mlin" (Figure 6), "mlin-narrow"
+// (Figure 6 + §5.2's narrow query replies), "locking" (conservative 2PL
+// baseline), "aggregate" (single-lock strawman from §1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/admissibility.hpp"
+#include "core/audit.hpp"
+#include "core/fast_check.hpp"
+#include "core/history.hpp"
+#include "protocols/recorder.hpp"
+#include "protocols/replica.hpp"
+#include "protocols/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace mocc::api {
+
+struct SystemConfig {
+  std::size_t num_processes = 3;
+  std::size_t num_objects = 8;
+  /// "mseq" | "mlin" | "mlin-narrow" | "locking" | "aggregate"
+  std::string protocol = "mlin";
+  /// "sequencer" | "isis" (ignored by locking/aggregate)
+  std::string broadcast = "sequencer";
+  /// "constant" | "lan" | "wan" | "uniform" | "reorder" | "exponential"
+  std::string delay = "lan";
+  std::uint64_t seed = 42;
+  /// §5.2 remark: narrow query replies (applies to "mlin-narrow").
+  bool narrow_replies = false;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  const SystemConfig& config() const { return config_; }
+
+  /// Enqueues an m-operation at `process`, invoked at virtual time `at`
+  /// (or when the process is free, whichever is later — processes are
+  /// sequential). The callback fires at response time.
+  void submit(core::ProcessId process, sim::SimTime at, mscript::Program program,
+              std::function<void(const protocols::InvocationOutcome&)> on_response = {});
+
+  /// Runs the simulation until quiescent (or until `max_time` when
+  /// non-zero); returns final virtual time.
+  sim::SimTime run(sim::SimTime max_time = 0);
+
+  /// Current virtual time (valid inside callbacks and between runs).
+  sim::SimTime now() const;
+
+  /// Closed-loop workload convenience (drives, runs, reports).
+  protocols::WorkloadReport run_workload(const protocols::WorkloadParams& params);
+
+  /// The recorded execution (valid after run() has drained everything).
+  core::History history() const;
+
+  /// True for the §5 protocols (mseq / mlin variants) whose timestamped
+  /// traces the P5.x audit understands.
+  bool supports_audit() const;
+  core::AuditReport audit() const;
+
+  /// Theorem-7 polynomial check of the recorded history against a
+  /// condition (uses the recorded ~ww as the synchronization order).
+  /// Requires supports_audit().
+  core::FastCheckResult check_fast(core::Condition condition) const;
+
+  /// Exact (worst-case exponential) check; works for any protocol.
+  core::AdmissibilityResult check_exact(
+      core::Condition condition, const core::AdmissibilityOptions& options = {}) const;
+
+  const sim::TrafficStats& traffic() const;
+  const protocols::ExecutionRecorder& recorder() const { return *recorder_; }
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<protocols::ExecutionRecorder> recorder_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::vector<protocols::Replica*> replicas_;  // owned by sim_
+  /// Per-process queue serialization for submit().
+  std::vector<sim::SimTime> process_free_hint_;
+  struct SubmitQueue;
+  std::vector<std::shared_ptr<SubmitQueue>> queues_;
+};
+
+}  // namespace mocc::api

@@ -1,0 +1,182 @@
+#include "core/admissibility.hpp"
+
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "core/legality.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::core {
+
+namespace {
+
+class Search {
+ public:
+  Search(const History& h, const util::BitRelation& closed,
+         const AdmissibilityOptions& options)
+      : h_(h), closed_(closed), options_(options), n_(h.size()) {
+    // Per m-op: predecessor count and successor lists from the closed
+    // relation (the closure is what linear extensions must respect; using
+    // it directly keeps the "all preds placed" test exact).
+    pred_count_.assign(n_, 0);
+    succs_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i != j && closed_.has(i, j)) {
+          ++pred_count_[j];
+          succs_[i].push_back(static_cast<MOpId>(j));
+        }
+      }
+    }
+    last_writer_.assign(h_.num_objects(), kInitialMOp);
+    placed_.assign(n_, false);
+  }
+
+  AdmissibilityResult run() {
+    AdmissibilityResult result;
+    if (!closed_.closed_is_irreflexive()) {
+      // ~>H itself is cyclic: no sequential extension exists.
+      result.admissible = false;
+      result.states_visited = 1;
+      return result;
+    }
+    order_.reserve(n_);
+    const bool found = extend(result);
+    result.admissible = found;
+    if (found) {
+      MOCC_DEBUG_ASSERT(is_legal_sequential_order(h_, order_));
+      result.witness = order_;
+    }
+    return result;
+  }
+
+ private:
+  bool budget_exceeded(AdmissibilityResult& result) {
+    if (options_.max_states != 0 && result.states_visited >= options_.max_states) {
+      result.completed = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Can α be appended to the current prefix?
+  bool can_place(MOpId alpha) const {
+    if (placed_[alpha] || pred_count_[alpha] != 0) return false;
+    for (const Operation& read : h_.mop(alpha).external_reads()) {
+      if (last_writer_[read.object] != read.reads_from) return false;
+    }
+    return true;
+  }
+
+  std::string state_key() const {
+    // Exact key: placement bitmap + last-writer table. Exactness matters —
+    // a hash collision would make the checker unsound.
+    std::string key;
+    key.reserve((n_ + 7) / 8 + last_writer_.size() * sizeof(MOpId));
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      acc = static_cast<std::uint8_t>(acc | (placed_[i] ? 1U << (i % 8) : 0U));
+      if (i % 8 == 7) {
+        key.push_back(static_cast<char>(acc));
+        acc = 0;
+      }
+    }
+    if (n_ % 8 != 0) key.push_back(static_cast<char>(acc));
+    const char* raw = reinterpret_cast<const char*>(last_writer_.data());
+    key.append(raw, last_writer_.size() * sizeof(MOpId));
+    return key;
+  }
+
+  bool extend(AdmissibilityResult& result) {
+    ++result.states_visited;
+    if (order_.size() == n_) return true;
+    if (budget_exceeded(result)) return false;
+
+    std::string key;
+    if (options_.use_memoization) {
+      key = state_key();
+      if (failed_states_.count(key) > 0) return false;
+    }
+
+    for (MOpId candidate = 0; candidate < n_; ++candidate) {
+      if (!can_place(candidate)) continue;
+
+      // Place.
+      placed_[candidate] = true;
+      order_.push_back(candidate);
+      std::vector<std::pair<ObjectId, MOpId>> saved_writers;
+      for (const ObjectId x : h_.mop(candidate).wobjects()) {
+        saved_writers.emplace_back(x, last_writer_[x]);
+        last_writer_[x] = candidate;
+      }
+      for (const MOpId s : succs_[candidate]) --pred_count_[s];
+
+      if (extend(result)) return true;
+
+      // Undo.
+      for (const MOpId s : succs_[candidate]) ++pred_count_[s];
+      for (auto it = saved_writers.rbegin(); it != saved_writers.rend(); ++it) {
+        last_writer_[it->first] = it->second;
+      }
+      order_.pop_back();
+      placed_[candidate] = false;
+
+      if (!result.completed) return false;
+    }
+
+    if (options_.use_memoization && result.completed) {
+      failed_states_.insert(std::move(key));
+    }
+    return false;
+  }
+
+  const History& h_;
+  const util::BitRelation& closed_;
+  const AdmissibilityOptions& options_;
+  std::size_t n_;
+
+  std::vector<std::size_t> pred_count_;
+  std::vector<std::vector<MOpId>> succs_;
+  std::vector<MOpId> last_writer_;
+  std::vector<bool> placed_;
+  std::vector<MOpId> order_;
+  std::unordered_set<std::string> failed_states_;
+};
+
+}  // namespace
+
+AdmissibilityResult check_admissible(const History& h, const util::BitRelation& base,
+                                     const AdmissibilityOptions& options) {
+  util::BitRelation closed = base.transitive_closure();
+
+  if (options.use_rw_pruning) {
+    // Forced edges: Lemma 5's intuition runs both ways — in any legal
+    // sequential extension, an overwriter γ of a value α read must land
+    // after α whenever it lands after the writer β. Iterating to a fixed
+    // point is sound (each added edge is implied by legality of the
+    // extension) and sharpens the closure the search must respect.
+    for (;;) {
+      util::BitRelation extended = extended_relation(h, closed);
+      if (!extended.closed_is_irreflexive()) {
+        // Every sequential extension would be illegal.
+        AdmissibilityResult result;
+        result.admissible = false;
+        result.states_visited = 1;
+        return result;
+      }
+      if (extended.pair_count() == closed.pair_count()) break;
+      closed = std::move(extended);
+    }
+  }
+
+  Search search(h, closed, options);
+  return search.run();
+}
+
+AdmissibilityResult check_condition(const History& h, Condition condition,
+                                    const AdmissibilityOptions& options) {
+  return check_admissible(h, base_order(h, condition), options);
+}
+
+}  // namespace mocc::core

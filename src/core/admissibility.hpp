@@ -1,0 +1,79 @@
+// Exact admissibility checking (D4.7) — the NP-complete problem.
+//
+// A history is admissible w.r.t. ~>H iff some legal sequential history
+// extends it (same m-operations, same process subhistories and reads-from,
+// total order respecting ~>H). Theorems 1–2 show deciding this is
+// NP-complete even with the reads-from relation known, so this checker is
+// necessarily worst-case exponential: it backtracks over linear extensions
+// of ~>H, placing one minimal m-operation at a time.
+//
+// Soundness of the incremental test: a prefix of a legal sequential order
+// is characterized by (set of placed m-ops, last-writer per object);
+// an m-operation α may be appended iff every predecessor under ~>H is
+// placed and every external read (x from β) of α satisfies
+// last_writer[x] == β. Failed (set, last-writer) states are memoized —
+// revisiting one through a different placement order cannot succeed
+// either, because future feasibility depends only on that pair.
+//
+// The search also seeds itself with the extended relation ~+ (D4.12):
+// the ~rw edges are *forced* in every legal extension, so adding them up
+// front prunes without losing completeness; if ~+ is cyclic the history
+// is immediately inadmissible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/relations.hpp"
+#include "util/relation.hpp"
+
+namespace mocc::core {
+
+struct AdmissibilityOptions {
+  /// Abort the search after this many visited states (0 = unlimited).
+  std::uint64_t max_states = 0;
+  /// Pre-extend the base order with forced ~rw edges (D4.11/D4.12).
+  /// On by default; the NP-scaling benchmark disables it to measure the
+  /// raw search.
+  bool use_rw_pruning = true;
+  /// Memoize failed states. Disabling exposes the raw backtracking cost.
+  bool use_memoization = true;
+};
+
+struct AdmissibilityResult {
+  /// Meaningful only when completed.
+  bool admissible = false;
+  /// False iff the state budget was exhausted before an answer was found.
+  bool completed = true;
+  /// A witness legal sequential order (total order of m-op ids) when
+  /// admissible.
+  std::optional<std::vector<MOpId>> witness;
+  std::uint64_t states_visited = 0;
+};
+
+/// Decides admissibility of `h` w.r.t. the transitive closure of `base`.
+AdmissibilityResult check_admissible(const History& h, const util::BitRelation& base,
+                                     const AdmissibilityOptions& options = {});
+
+/// Convenience wrappers for the three consistency conditions (§2.3).
+AdmissibilityResult check_condition(const History& h, Condition condition,
+                                    const AdmissibilityOptions& options = {});
+
+inline AdmissibilityResult check_m_sequentially_consistent(
+    const History& h, const AdmissibilityOptions& options = {}) {
+  return check_condition(h, Condition::kMSequentialConsistency, options);
+}
+
+inline AdmissibilityResult check_m_linearizable(const History& h,
+                                                const AdmissibilityOptions& options = {}) {
+  return check_condition(h, Condition::kMLinearizability, options);
+}
+
+inline AdmissibilityResult check_m_normal(const History& h,
+                                          const AdmissibilityOptions& options = {}) {
+  return check_condition(h, Condition::kMNormality, options);
+}
+
+}  // namespace mocc::core

@@ -1,0 +1,141 @@
+#include "core/audit.hpp"
+
+#include <sstream>
+
+#include "core/constraints.hpp"
+#include "core/legality.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::core {
+
+void AuditReport::fail(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+std::string AuditReport::to_string() const {
+  if (ok) return "audit: ok";
+  std::ostringstream out;
+  out << "audit: " << violations.size() << " violation(s)\n";
+  for (const auto& v : violations) out << "  - " << v << "\n";
+  return out.str();
+}
+
+AuditReport audit_protocol_execution(const History& h, const ProtocolTrace& trace) {
+  AuditReport report;
+  const std::size_t n = h.size();
+  MOCC_ASSERT(trace.sync_order.size() == n);
+  MOCC_ASSERT(trace.timestamps.size() == n);
+  MOCC_ASSERT(trace.is_update.size() == n);
+
+  const util::BitRelation closed = trace.sync_order.transitive_closure();
+
+  if (!closed.closed_is_irreflexive()) {
+    report.fail("sync order ~>H- is cyclic");
+    return report;
+  }
+
+  auto ts = [&](MOpId id) -> const util::VersionVector& { return trace.timestamps[id]; };
+
+  // P5.1: β ~>H− α with both queries must come from real-time order
+  // (resp(β) < inv(α)). We check the closed consequence the lemma needs:
+  // two queries ordered by the closure must be real-time ordered — on a
+  // recorded execution this is checkable directly from the time stamps.
+  for (MOpId b = 0; b < n; ++b) {
+    for (MOpId a = 0; a < n; ++a) {
+      if (a == b || !trace.sync_order.has(b, a)) continue;
+      if (!trace.is_update[b] && !trace.is_update[a]) {
+        if (!(h.mop(b).response() < h.mop(a).invoke())) {
+          std::ostringstream out;
+          out << "P5.1: queries m" << b << " ~> m" << a
+              << " ordered without real-time precedence";
+          report.fail(out.str());
+        }
+      }
+    }
+  }
+
+  // P5.2: any two (conservatively classified) updates are ordered.
+  for (MOpId a = 0; a < n; ++a) {
+    for (MOpId b = a + 1; b < n; ++b) {
+      if (trace.is_update[a] && trace.is_update[b]) {
+        if (!closed.has(a, b) && !closed.has(b, a)) {
+          std::ostringstream out;
+          out << "P5.2: updates m" << a << ", m" << b << " unordered";
+          report.fail(out.str());
+        }
+      }
+    }
+  }
+
+  // P5.3 / P5.4 on the closed relation (P5.5/P5.6 in the paper): ts is
+  // monotonic along ~>H and strictly increases on written components.
+  for (MOpId b = 0; b < n; ++b) {
+    for (MOpId a = 0; a < n; ++a) {
+      if (a == b || !closed.has(b, a)) continue;
+      if (!ts(b).pointwise_leq(ts(a))) {
+        std::ostringstream out;
+        out << "P5.3: m" << b << " ~> m" << a << " but ts(m" << b << ")="
+            << ts(b).to_string() << " !<= ts(m" << a << ")=" << ts(a).to_string();
+        report.fail(out.str());
+      }
+      for (const ObjectId x : h.mop(a).wobjects()) {
+        if (!(ts(b)[x] < ts(a)[x])) {
+          std::ostringstream out;
+          out << "P5.4: m" << b << " ~> m" << a << ", x" << x << " in wobjects(m" << a
+              << ") but ts[x] not strictly increasing";
+          report.fail(out.str());
+        }
+      }
+    }
+  }
+
+  // P5.7 / P5.8: reads-from pins versions.
+  for (MOpId alpha = 0; alpha < n; ++alpha) {
+    for (const Operation& read : h.mop(alpha).external_reads()) {
+      if (read.reads_from == kInitialMOp) {
+        // Version 0: the reader must not have advanced x past the write
+        // it (possibly) performs itself.
+        const std::uint64_t expected = h.mop(alpha).writes(read.object) ? 1 : 0;
+        if (ts(alpha)[read.object] < expected) {
+          std::ostringstream out;
+          out << "P5.7/8(init): m" << alpha << " reads x" << read.object
+              << " from init but ts[x]=" << ts(alpha)[read.object];
+          report.fail(out.str());
+        }
+        continue;
+      }
+      const MOpId beta = read.reads_from;
+      const ObjectId x = read.object;
+      if (!h.mop(alpha).writes(x)) {
+        if (ts(beta)[x] != ts(alpha)[x]) {
+          std::ostringstream out;
+          out << "P5.7: m" << alpha << " reads x" << x << " from m" << beta
+              << " but ts(beta)[x]=" << ts(beta)[x] << " != ts(alpha)[x]="
+              << ts(alpha)[x];
+          report.fail(out.str());
+        }
+      } else {
+        if (ts(beta)[x] + 1 != ts(alpha)[x]) {
+          std::ostringstream out;
+          out << "P5.8: m" << alpha << " reads+writes x" << x << " from m" << beta
+              << " but ts(beta)[x]=" << ts(beta)[x] << ", ts(alpha)[x]="
+              << ts(alpha)[x];
+          report.fail(out.str());
+        }
+      }
+    }
+  }
+
+  // Derived guarantees: Lemma 8 (WW-constraint) and Lemma 9 (legality).
+  if (auto violation = find_constraint_violation(h, closed, Constraint::kWW)) {
+    report.fail("Lemma 8 consequence failed: " + violation->to_string());
+  }
+  if (auto violation = find_legality_violation(h, closed)) {
+    report.fail("Lemma 9 consequence failed: " + violation->to_string());
+  }
+
+  return report;
+}
+
+}  // namespace mocc::core

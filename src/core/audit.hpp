@@ -1,0 +1,49 @@
+// Protocol audit: the paper's correctness properties P5.1–P5.8 (§5).
+//
+// Theorem 10 reduces protocol correctness to eight properties of the
+// per-m-operation timestamps and the synchronization order ~>H−. The
+// protocols in src/protocols record both for every execution; this audit
+// re-checks the properties on the recorded run, turning the paper's proof
+// obligations into machine-checked runtime oracles. Any violation means a
+// protocol bug (or a broken atomic broadcast underneath).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "util/relation.hpp"
+#include "util/timestamp.hpp"
+
+namespace mocc::core {
+
+/// Everything a protocol execution must expose for auditing.
+struct ProtocolTrace {
+  /// ~>H− : the union the protocol defines (Figure 4: ~P ∪ ~rf ∪ ~ww;
+  /// Figure 6: ~rf ∪ ~t ∪ ~ww), NOT transitively closed.
+  util::BitRelation sync_order;
+  /// ts(α) = ts(finish(α)) per m-operation (D5.2 / D5.7).
+  std::vector<util::VersionVector> timestamps;
+  /// The paper's conservative update classification ("we treat an
+  /// m-operation as an update if it can potentially write"): true for
+  /// m-operations that were atomically broadcast, even when the execution
+  /// happened to write nothing (e.g. a failed DCAS). P5.1 and P5.2 are
+  /// stated in terms of this classification, not the recorded write sets.
+  std::vector<bool> is_update;
+};
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message);
+  std::string to_string() const;
+};
+
+/// Checks P5.1–P5.4 and P5.7–P5.8 (Theorem 10's hypotheses) plus the
+/// derived WW-constraint (Lemma 8) and legality (Lemma 9) on the closed
+/// relation. `trace.sync_order` must relate ids of `h`.
+AuditReport audit_protocol_execution(const History& h, const ProtocolTrace& trace);
+
+}  // namespace mocc::core

@@ -1,0 +1,45 @@
+// Execution constraints (§4, D4.8–D4.10).
+//
+// Verifying admissibility is NP-complete in general (Theorems 1–2), so
+// implementations enforce ordering constraints that make legality — a
+// polynomial check — both necessary and sufficient (Theorem 7):
+//
+//   OO-constraint: every pair of *conflicting* m-operations is ordered.
+//   WW-constraint: every pair of *update* m-operations is ordered
+//                  (globally, regardless of the objects written).
+//   WO-constraint: every pair of m-operations writing a *common object*
+//                  is ordered. WO is implied by both OO and WW and is the
+//                  hypothesis of Lemma 5.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/history.hpp"
+#include "util/relation.hpp"
+
+namespace mocc::core {
+
+enum class Constraint { kOO, kWW, kWO };
+
+const char* constraint_name(Constraint c);
+
+struct ConstraintViolation {
+  Constraint constraint = Constraint::kWW;
+  MOpId a = 0;
+  MOpId b = 0;
+  std::string to_string() const;
+};
+
+/// Checks the constraint against the (transitively closed) order.
+/// Returns the first unordered pair that the constraint requires to be
+/// ordered, or nullopt if the constraint holds.
+std::optional<ConstraintViolation> find_constraint_violation(
+    const History& h, const util::BitRelation& order, Constraint constraint);
+
+inline bool satisfies(const History& h, const util::BitRelation& order,
+                      Constraint constraint) {
+  return !find_constraint_violation(h, order, constraint).has_value();
+}
+
+}  // namespace mocc::core

@@ -1,0 +1,49 @@
+// Theorem-7 polynomial-time admissibility checking for constrained
+// histories (§4).
+//
+// For a history under the OO- or WW-constraint, admissibility is
+// equivalent to legality (Theorem 7), and legality is a polynomial check.
+// The witness construction follows Lemmas 3–5: build the read-write
+// precedence ~rw (D4.11), close ~H ∪ ~rw into the extended relation ~+
+// (D4.12) — irreflexive by Lemma 3/4 — and linearize; Lemma 5 (P4.5)
+// guarantees *any* linear extension of ~+ is a legal sequential history
+// equivalent to the input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/history.hpp"
+#include "core/relations.hpp"
+#include "util/relation.hpp"
+
+namespace mocc::core {
+
+struct FastCheckResult {
+  /// Whether the claimed constraint actually holds for the history; if it
+  /// does not, Theorem 7 does not apply and `admissible` is meaningless.
+  bool constraint_holds = false;
+  bool legal = false;
+  bool admissible = false;
+  /// A witness legal sequential order when admissible.
+  std::optional<std::vector<MOpId>> witness;
+  /// Populated with a diagnostic when something failed.
+  std::string detail;
+};
+
+/// Polynomial check of admissibility w.r.t. the transitive closure of
+/// `base`, valid for histories satisfying `constraint` (kOO or kWW).
+FastCheckResult fast_check(const History& h, const util::BitRelation& base,
+                           Constraint constraint);
+
+/// Convenience: base order for the given consistency condition augmented
+/// with an explicit synchronization order `sync` (e.g. the atomic
+/// broadcast delivery order, which is what makes protocol histories
+/// WW-constrained).
+FastCheckResult fast_check_condition(const History& h, Condition condition,
+                                     const util::BitRelation& sync,
+                                     Constraint constraint);
+
+}  // namespace mocc::core

@@ -1,0 +1,213 @@
+#include "core/generate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace mocc::core {
+
+namespace {
+
+/// Unique value for the v-th write to object x (keeps derive_reads_from
+/// usable on generated histories).
+Value unique_value(ObjectId x, std::uint64_t version) {
+  return static_cast<Value>(x) * 1'000'000 + static_cast<Value>(version);
+}
+
+std::vector<Operation> random_ops(const GeneratorParams& params, util::Rng& rng,
+                                  std::vector<MOpId>& last_writer,
+                                  std::vector<std::uint64_t>& version,
+                                  MOpId self) {
+  const std::size_t count = static_cast<std::size_t>(
+      rng.next_in(static_cast<std::int64_t>(params.min_ops_per_mop),
+                  static_cast<std::int64_t>(params.max_ops_per_mop)));
+  std::vector<Operation> ops;
+  std::map<ObjectId, Value> own;  // own writes visible to own later reads
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto x = static_cast<ObjectId>(rng.next_below(params.num_objects));
+    if (rng.next_bool(params.write_probability)) {
+      ++version[x];
+      const Value v = unique_value(x, version[x]);
+      ops.push_back(Operation::write(x, v));
+      own[x] = v;
+      last_writer[x] = self;
+    } else {
+      if (auto it = own.find(x); it != own.end()) {
+        // Internal read; reads_from points at self but is excluded from
+        // external_reads by construction.
+        ops.push_back(Operation::read(x, it->second, self));
+      } else {
+        const Value v =
+            last_writer[x] == kInitialMOp ? 0 : unique_value(x, version[x]);
+        ops.push_back(Operation::read(x, v, last_writer[x]));
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+History generate_admissible_history(const GeneratorParams& params, util::Rng& rng) {
+  MOCC_ASSERT(params.num_processes >= 1);
+  MOCC_ASSERT(params.num_objects >= 1);
+  History h(params.num_processes, params.num_objects);
+
+  std::vector<MOpId> last_writer(params.num_objects, kInitialMOp);
+  std::vector<std::uint64_t> version(params.num_objects, 0);
+  std::vector<Time> process_free_at(params.num_processes, 0);
+
+  constexpr Time kStep = 100;
+  const auto spread =
+      static_cast<Time>(params.overlap * static_cast<double>(kStep));
+
+  for (MOpId k = 0; k < params.num_mops; ++k) {
+    const auto p = static_cast<ProcessId>(rng.next_below(params.num_processes));
+    const Time center = static_cast<Time>(k + 1) * kStep;
+    // Real-time interval containing `center`; since centers are strictly
+    // increasing and intervals extend at most `spread < kStep/2` either
+    // side, a later m-operation can never respond before an earlier one
+    // is invoked, so real-time order is a suborder of the construction
+    // order — the execution stays m-linearizable.
+    Time invoke = center - (spread == 0 ? 0 : rng.next_below(spread + 1));
+    const Time respond = center + (spread == 0 ? 0 : rng.next_below(spread + 1));
+    // Per-process sequentiality.
+    invoke = std::max(invoke, process_free_at[p]);
+    MOCC_ASSERT(invoke <= respond);
+    process_free_at[p] = respond + 1;
+
+    std::vector<Operation> ops = random_ops(params, rng, last_writer, version, k);
+    h.add(MOperation(p, std::move(ops), invoke, respond, "gen"));
+  }
+  return h;
+}
+
+std::size_t perturb_reads_from(History& h, util::Rng& rng, std::size_t rewires) {
+  // Collect all (object -> writers) across the history.
+  std::map<ObjectId, std::vector<MOpId>> writers;
+  for (MOpId id = 0; id < h.size(); ++id) {
+    for (const ObjectId x : h.mop(id).wobjects()) writers[x].push_back(id);
+  }
+  // Candidate reads: external reads of objects with >= 2 potential sources
+  // (counting the initial write as a source).
+  struct Candidate {
+    MOpId mop;
+    std::size_t op_index;
+  };
+  std::vector<Candidate> candidates;
+  for (MOpId id = 0; id < h.size(); ++id) {
+    const auto& ops = h.mop(id).ops();
+    std::map<ObjectId, bool> own_written;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Operation& op = ops[i];
+      if (op.type == OpType::kWrite) {
+        own_written[op.object] = true;
+        continue;
+      }
+      if (own_written.count(op.object) > 0) continue;  // internal read
+      const auto it = writers.find(op.object);
+      const std::size_t sources = 1 + (it == writers.end() ? 0 : it->second.size());
+      if (sources >= 2) candidates.push_back({id, i});
+    }
+  }
+  if (candidates.empty()) return 0;
+
+  std::size_t done = 0;
+  History rebuilt(h.num_processes(), h.num_objects());
+  // Apply rewires by rebuilding m-operations with patched reads.
+  std::map<std::pair<MOpId, std::size_t>, MOpId> patches;
+  for (std::size_t r = 0; r < rewires && !candidates.empty(); ++r) {
+    const std::size_t pick = rng.next_below(candidates.size());
+    const Candidate c = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    const Operation& op = h.mop(c.mop).ops()[c.op_index];
+    // Choose a different source among {writers of x, initial} \ {current}.
+    std::vector<MOpId> sources;
+    if (op.reads_from != kInitialMOp) sources.push_back(kInitialMOp);
+    for (const MOpId w : writers[op.object]) {
+      if (w != op.reads_from && w != c.mop) sources.push_back(w);
+    }
+    if (sources.empty()) continue;
+    patches[{c.mop, c.op_index}] = sources[rng.next_below(sources.size())];
+    ++done;
+  }
+
+  for (MOpId id = 0; id < h.size(); ++id) {
+    const MOperation& m = h.mop(id);
+    std::vector<Operation> ops = m.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto it = patches.find({id, i});
+      if (it == patches.end()) continue;
+      Operation& op = ops[i];
+      op.reads_from = it->second;
+      op.value = it->second == kInitialMOp
+                     ? 0
+                     : h.mop(it->second).final_write_value(op.object);
+    }
+    rebuilt.add(MOperation(m.process(), std::move(ops), m.invoke(), m.response(),
+                           m.label()));
+  }
+  h = std::move(rebuilt);
+  return done;
+}
+
+History generate_free_history(const GeneratorParams& params, util::Rng& rng) {
+  // First generate structure (who writes what), then wire reads randomly.
+  History h(params.num_processes, params.num_objects);
+  std::vector<std::uint64_t> version(params.num_objects, 0);
+  std::vector<Time> process_free_at(params.num_processes, 0);
+  // Writers of each object among already-created m-ops.
+  std::map<ObjectId, std::vector<MOpId>> writers;
+
+  constexpr Time kStep = 100;
+  const auto spread =
+      static_cast<Time>(params.overlap * static_cast<double>(kStep));
+
+  for (MOpId k = 0; k < params.num_mops; ++k) {
+    const auto p = static_cast<ProcessId>(rng.next_below(params.num_processes));
+    const Time center = static_cast<Time>(k + 1) * kStep;
+    Time invoke = center - (spread == 0 ? 0 : rng.next_below(spread + 1));
+    const Time respond = center + (spread == 0 ? 0 : rng.next_below(spread + 1));
+    invoke = std::max(invoke, process_free_at[p]);
+    process_free_at[p] = respond + 1;
+
+    const std::size_t count = static_cast<std::size_t>(
+        rng.next_in(static_cast<std::int64_t>(params.min_ops_per_mop),
+                    static_cast<std::int64_t>(params.max_ops_per_mop)));
+    std::vector<Operation> ops;
+    std::map<ObjectId, Value> own;
+    std::vector<std::pair<ObjectId, Value>> writes_this_mop;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto x = static_cast<ObjectId>(rng.next_below(params.num_objects));
+      if (rng.next_bool(params.write_probability)) {
+        ++version[x];
+        const Value v = unique_value(x, version[x]);
+        ops.push_back(Operation::write(x, v));
+        own[x] = v;
+        writes_this_mop.emplace_back(x, v);
+      } else if (auto it = own.find(x); it != own.end()) {
+        ops.push_back(Operation::read(x, it->second, k));
+      } else {
+        // Random source: initial or any *earlier* writer of x (keeps
+        // History::add's forward-reference check satisfied; reading from
+        // a future writer is representable by construction order anyway
+        // since ids are arbitrary labels here).
+        const auto& ws = writers[x];
+        const std::size_t sources = ws.size() + 1;
+        const std::size_t pick = rng.next_below(sources);
+        if (pick == ws.size()) {
+          ops.push_back(Operation::read(x, 0, kInitialMOp));
+        } else {
+          const MOpId w = ws[pick];
+          ops.push_back(Operation::read(x, h.mop(w).final_write_value(x), w));
+        }
+      }
+    }
+    h.add(MOperation(p, std::move(ops), invoke, respond, "free"));
+    for (const auto& [x, v] : writes_this_mop) writers[x].push_back(k);
+  }
+  return h;
+}
+
+}  // namespace mocc::core

@@ -1,0 +1,48 @@
+// Synthetic history generation for property tests and the NP-scaling
+// experiment (E4).
+//
+// Three families:
+//   - known-admissible histories, built by simulating one global legal
+//     sequential execution and assigning real-time intervals consistent
+//     with it (so they satisfy even m-linearizability);
+//   - perturbed histories: admissible ones with some reads rewired to a
+//     different writer of the same object — overwhelmingly inadmissible
+//     and never trivially so (reads still reference real writers);
+//   - free histories: reads-from chosen uniformly among writers of the
+//     object, real-time intervals random — the mixed population whose
+//     exact checking cost the E4 benchmark measures.
+#pragma once
+
+#include "core/history.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::core {
+
+struct GeneratorParams {
+  std::size_t num_processes = 3;
+  std::size_t num_objects = 4;
+  std::size_t num_mops = 10;
+  std::size_t min_ops_per_mop = 1;
+  std::size_t max_ops_per_mop = 3;
+  /// Probability that an individual operation is a write.
+  double write_probability = 0.5;
+  /// Fraction of an m-operation's duration that overlaps its neighbours
+  /// in the admissible generator (0 = serial execution, values close to
+  /// 0.5 give heavy overlap).
+  double overlap = 0.3;
+};
+
+/// A history admissible w.r.t. m-linearizability (hence also m-normality
+/// and m-sequential consistency) by construction.
+History generate_admissible_history(const GeneratorParams& params, util::Rng& rng);
+
+/// Rewires up to `rewires` external reads to a different writer of the
+/// same object. Returns the number of reads actually rewired (0 means the
+/// history had no rewirable read and is returned unchanged).
+std::size_t perturb_reads_from(History& h, util::Rng& rng, std::size_t rewires = 1);
+
+/// Fully random history: arbitrary reads-from among writers, random
+/// overlapping intervals (per-process well-formedness maintained).
+History generate_free_history(const GeneratorParams& params, util::Rng& rng);
+
+}  // namespace mocc::core

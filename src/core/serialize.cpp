@@ -1,0 +1,209 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mocc::core {
+
+namespace {
+
+/// Parses one op token like "w(3)17" / "r(0)5@init".
+bool parse_op(const std::string& token, MOpId self, Operation* op, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    *error = "bad operation '" + token + "': " + why;
+    return false;
+  };
+  if (token.size() < 4 || (token[0] != 'w' && token[0] != 'r') || token[1] != '(') {
+    return fail("expected w(...) or r(...)");
+  }
+  const auto close = token.find(')');
+  if (close == std::string::npos) return fail("missing ')'");
+  std::size_t parsed = 0;
+  unsigned long object = 0;
+  try {
+    object = std::stoul(token.substr(2, close - 2), &parsed);
+  } catch (...) {
+    return fail("object id not a number");
+  }
+  if (parsed != close - 2) return fail("object id not a number");
+
+  std::string rest = token.substr(close + 1);
+  if (token[0] == 'w') {
+    long long value = 0;
+    try {
+      value = std::stoll(rest, &parsed);
+    } catch (...) {
+      return fail("write value not a number");
+    }
+    if (parsed != rest.size()) return fail("trailing junk after write value");
+    *op = Operation::write(static_cast<ObjectId>(object), value);
+    return true;
+  }
+
+  const auto at = rest.find('@');
+  if (at == std::string::npos) return fail("read missing @writer");
+  long long value = 0;
+  try {
+    value = std::stoll(rest.substr(0, at), &parsed);
+  } catch (...) {
+    return fail("read value not a number");
+  }
+  if (parsed != at) return fail("read value not a number");
+  const std::string writer = rest.substr(at + 1);
+  MOpId from = kInitialMOp;
+  if (writer == "init") {
+    from = kInitialMOp;
+  } else if (writer == "self") {
+    from = self;
+  } else {
+    unsigned long k = 0;
+    try {
+      k = std::stoul(writer, &parsed);
+    } catch (...) {
+      return fail("writer not init/self/<index>");
+    }
+    if (parsed != writer.size()) return fail("writer not init/self/<index>");
+    from = static_cast<MOpId>(k);
+  }
+  *op = Operation::read(static_cast<ObjectId>(object), value, from);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_history(const History& h) {
+  std::ostringstream out;
+  out << "# mocc history\n";
+  out << "history " << h.num_processes() << " " << h.num_objects() << "\n";
+  for (MOpId id = 0; id < h.size(); ++id) {
+    const MOperation& m = h.mop(id);
+    out << "mop " << m.process() << " " << m.invoke() << " " << m.response();
+    if (!m.label().empty()) out << " " << m.label();
+    out << " :";
+    for (const Operation& op : m.ops()) {
+      if (op.type == OpType::kWrite) {
+        out << " w(" << op.object << ")" << op.value;
+      } else {
+        out << " r(" << op.object << ")" << op.value << "@";
+        if (op.reads_from == kInitialMOp) {
+          out << "init";
+        } else if (op.reads_from == id) {
+          out << "self";
+        } else {
+          out << op.reads_from;
+        }
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<History> parse_history(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::optional<History> history;
+  MOpId next_id = 0;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "history") {
+      std::size_t processes = 0;
+      std::size_t objects = 0;
+      if (!(fields >> processes >> objects) || processes == 0 || objects == 0) {
+        return fail("expected 'history <processes> <objects>'");
+      }
+      if (history.has_value()) return fail("duplicate history header");
+      history.emplace(processes, objects);
+      continue;
+    }
+
+    if (keyword == "mop") {
+      if (!history.has_value()) return fail("'mop' before 'history' header");
+      unsigned long process = 0;
+      Time invoke = 0;
+      Time response = 0;
+      if (!(fields >> process >> invoke >> response)) {
+        return fail("expected 'mop <process> <invoke> <response> [label] : ops'");
+      }
+      if (process >= history->num_processes()) return fail("process out of range");
+      if (invoke > response) return fail("invoke after response");
+
+      // Optional label, then ':'.
+      std::string token;
+      std::string label;
+      if (!(fields >> token)) return fail("missing ':'");
+      if (token != ":") {
+        label = token;
+        if (!(fields >> token) || token != ":") return fail("missing ':' after label");
+      }
+
+      std::vector<Operation> ops;
+      std::string op_error;
+      while (fields >> token) {
+        Operation op;
+        if (!parse_op(token, next_id, &op, &op_error)) return fail(op_error);
+        if (op.object >= history->num_objects()) return fail("object out of range");
+        ops.push_back(op);
+      }
+      history->add(
+          MOperation(static_cast<ProcessId>(process), std::move(ops), invoke,
+                     response, label));
+      ++next_id;
+      continue;
+    }
+
+    return fail("unknown keyword '" + keyword + "'");
+  }
+
+  if (!history.has_value()) return fail("missing 'history' header");
+  // Validate reads-from targets now that the count is known.
+  for (MOpId id = 0; id < history->size(); ++id) {
+    for (const Operation& op : history->mop(id).ops()) {
+      if (op.type == OpType::kRead && op.reads_from != kInitialMOp &&
+          op.reads_from >= history->size() && op.reads_from != id) {
+        if (error != nullptr) {
+          *error = "m-operation " + std::to_string(id) +
+                   " reads from out-of-range m-operation " +
+                   std::to_string(op.reads_from);
+        }
+        return std::nullopt;
+      }
+    }
+  }
+  return history;
+}
+
+bool save_history(const History& h, const std::string& path, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << serialize_history(h);
+  return static_cast<bool>(out);
+}
+
+std::optional<History> load_history(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_history(buffer.str(), error);
+}
+
+}  // namespace mocc::core

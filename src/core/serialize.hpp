@@ -1,0 +1,41 @@
+// Plain-text history format: write histories out, read them back.
+//
+// Lets recorded executions be archived and re-checked offline
+// (examples/history_audit --file=...), and makes failing property-test
+// cases shareable. Format, one m-operation per line after the header:
+//
+//   # comment / blank lines ignored
+//   history <num_processes> <num_objects>
+//   mop <process> <invoke> <response> [label] : <op> <op> ...
+//
+// where <op> is
+//   w(<object>)<value>                      a write
+//   r(<object>)<value>@init                 read from the initial write
+//   r(<object>)<value>@self                 internal read (own write)
+//   r(<object>)<value>@<mop-index>          read from m-operation k
+//
+// m-operation indices refer to `mop` line order (0-based). Forward
+// references are allowed.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/history.hpp"
+
+namespace mocc::core {
+
+/// Renders a parseable description of the history.
+std::string serialize_history(const History& h);
+
+/// Parses the format above. Returns nullopt and fills *error on
+/// malformed input.
+std::optional<History> parse_history(const std::string& text, std::string* error);
+
+/// Convenience file wrappers. `load_history` returns nullopt (with
+/// *error) if the file is unreadable or malformed.
+bool save_history(const History& h, const std::string& path, std::string* error);
+std::optional<History> load_history(const std::string& path, std::string* error);
+
+}  // namespace mocc::core

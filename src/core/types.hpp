@@ -1,0 +1,25 @@
+// Shared identifier types for the history model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mocc::core {
+
+using ObjectId = std::uint32_t;
+using ProcessId = std::uint32_t;
+using Value = std::int64_t;
+
+/// Index of an m-operation within its history.
+using MOpId = std::uint32_t;
+
+/// The paper's imaginary initializing m-operation ("we assume that an
+/// imaginary m-operation that writes to all objects is performed to
+/// initialize the objects before the first operation by any process").
+/// Reads whose value was never overwritten read from this sentinel.
+inline constexpr MOpId kInitialMOp = std::numeric_limits<MOpId>::max();
+
+/// Virtual time (simulator ticks). Only relative order matters.
+using Time = std::uint64_t;
+
+}  // namespace mocc::core

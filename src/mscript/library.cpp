@@ -1,0 +1,148 @@
+#include "mscript/library.hpp"
+
+#include "mscript/builder.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::mscript::lib {
+
+Program make_read(ObjectId x) {
+  Builder b("read");
+  const auto r = b.reg();
+  b.read(r, x).ret(r);
+  return b.build();
+}
+
+Program make_write(ObjectId x, Value v) {
+  Builder b("write");
+  const auto r = b.reg();
+  b.load_const(r, v).write(x, r).ret(r);
+  return b.build();
+}
+
+Program make_read_all(std::span<const ObjectId> objects) {
+  MOCC_ASSERT(!objects.empty());
+  Builder b("read_all");
+  const auto r = b.reg();
+  for (ObjectId x : objects) b.read(r, x);
+  b.ret(r);
+  return b.build();
+}
+
+Program make_m_assign(std::span<const ObjectId> objects, std::span<const Value> values) {
+  MOCC_ASSERT(objects.size() == values.size());
+  MOCC_ASSERT(!objects.empty());
+  Builder b("m_assign");
+  const auto r = b.reg();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    b.load_const(r, values[i]).write(objects[i], r);
+  }
+  b.ret_const(1);
+  return b.build();
+}
+
+Program make_cas(ObjectId x, Value expected, Value desired) {
+  Builder b("cas");
+  const auto cur = b.reg();
+  const auto exp = b.reg();
+  const auto cond = b.reg();
+  b.read(cur, x)
+      .load_const(exp, expected)
+      .cmp_eq(cond, cur, exp)
+      .jump_if_zero(cond, "fail")
+      .load_const(cur, desired)
+      .write(x, cur)
+      .ret_const(1)
+      .label("fail")
+      .ret_const(0);
+  return b.build();
+}
+
+Program make_dcas(ObjectId x1, ObjectId x2, Value old1, Value old2, Value new1,
+                  Value new2) {
+  Builder b("dcas");
+  const auto v1 = b.reg();
+  const auto v2 = b.reg();
+  const auto expect = b.reg();
+  const auto cond = b.reg();
+  b.read(v1, x1)
+      .read(v2, x2)
+      .load_const(expect, old1)
+      .cmp_eq(cond, v1, expect)
+      .jump_if_zero(cond, "fail")
+      .load_const(expect, old2)
+      .cmp_eq(cond, v2, expect)
+      .jump_if_zero(cond, "fail")
+      .load_const(v1, new1)
+      .write(x1, v1)
+      .load_const(v2, new2)
+      .write(x2, v2)
+      .ret_const(1)
+      .label("fail")
+      .ret_const(0);
+  return b.build();
+}
+
+Program make_sum(std::span<const ObjectId> objects) {
+  MOCC_ASSERT(!objects.empty());
+  Builder b("sum");
+  const auto acc = b.reg();
+  const auto cur = b.reg();
+  b.load_const(acc, 0);
+  for (ObjectId x : objects) {
+    b.read(cur, x).add(acc, acc, cur);
+  }
+  b.ret(acc);
+  return b.build();
+}
+
+Program make_transfer(ObjectId from, ObjectId to, Value amount) {
+  Builder b("transfer");
+  const auto bal = b.reg();
+  const auto amt = b.reg();
+  const auto cond = b.reg();
+  const auto dst = b.reg();
+  b.read(bal, from)
+      .load_const(amt, amount)
+      .cmp_le(cond, amt, bal)
+      .jump_if_zero(cond, "fail")
+      .sub(bal, bal, amt)
+      .write(from, bal)
+      .read(dst, to)
+      .add(dst, dst, amt)
+      .write(to, dst)
+      .ret_const(1)
+      .label("fail")
+      .ret_const(0);
+  return b.build();
+}
+
+Program make_fetch_add(ObjectId x, Value delta) {
+  Builder b("fetch_add");
+  const auto old = b.reg();
+  const auto d = b.reg();
+  const auto updated = b.reg();
+  b.read(old, x)
+      .load_const(d, delta)
+      .add(updated, old, d)
+      .write(x, updated)
+      .ret(old);
+  return b.build();
+}
+
+Program make_multi_add(std::span<const ObjectId> objects, std::span<const Value> deltas) {
+  MOCC_ASSERT(objects.size() == deltas.size());
+  MOCC_ASSERT(!objects.empty());
+  Builder b("multi_add");
+  const auto cur = b.reg();
+  const auto d = b.reg();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    b.read(cur, objects[i])
+        .load_const(d, deltas[i])
+        .add(cur, cur, d)
+        .write(objects[i], cur);
+  }
+  b.ret(cur);
+  return b.build();
+}
+
+}  // namespace mocc::mscript::lib

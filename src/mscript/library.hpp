@@ -1,0 +1,56 @@
+// Canonical multi-object operations as MScript programs.
+//
+// These are the m-operations the paper motivates: DCAS and atomic
+// m-register assignment explicitly (§1), the `sum` multi-method (§1's
+// aggregate-object discussion), plus the read/write primitives that
+// recover the traditional single-object DSM model as a special case, and
+// a conditional `transfer` for the transaction-flavoured examples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mscript/program.hpp"
+
+namespace mocc::mscript::lib {
+
+/// Single-object read: returns the value of `x`. Query.
+Program make_read(ObjectId x);
+
+/// Single-object write: x := v. Update.
+Program make_write(ObjectId x, Value v);
+
+/// Query reading each object in turn; returns the value of the *last*
+/// object listed (all read values appear in the access record).
+Program make_read_all(std::span<const ObjectId> objects);
+
+/// Atomic m-register assignment: objects[i] := values[i] for all i.
+/// Update; returns 1.
+Program make_m_assign(std::span<const ObjectId> objects, std::span<const Value> values);
+
+/// Single compare-and-swap: if x == expected then x := desired, return 1;
+/// else return 0. Update (conservatively, even when the swap fails).
+Program make_cas(ObjectId x, Value expected, Value desired);
+
+/// Double compare-and-swap (the paper's footnote 1): atomically, if
+/// x1 == old1 and x2 == old2, then x1 := new1 and x2 := new2 and return 1;
+/// otherwise return 0 and write nothing.
+Program make_dcas(ObjectId x1, ObjectId x2, Value old1, Value old2, Value new1,
+                  Value new2);
+
+/// Query returning the sum of the listed objects (the `sum` multi-method
+/// from the paper's introduction).
+Program make_sum(std::span<const ObjectId> objects);
+
+/// Conditional funds transfer: if from >= amount then {from -= amount;
+/// to += amount; return 1} else return 0. Update.
+Program make_transfer(ObjectId from, ObjectId to, Value amount);
+
+/// Unconditional fetch-and-add on a single object; returns the old value.
+Program make_fetch_add(ObjectId x, Value delta);
+
+/// Balanced multi-object increment: objects[i] += deltas[i] atomically.
+/// Returns the new value of the last object.
+Program make_multi_add(std::span<const ObjectId> objects, std::span<const Value> deltas);
+
+}  // namespace mocc::mscript::lib

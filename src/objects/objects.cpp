@@ -1,0 +1,305 @@
+#include "objects/objects.hpp"
+
+#include <limits>
+
+#include "mscript/builder.hpp"
+#include "mscript/library.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::objects {
+
+namespace {
+// Sentinels for the conditional structure programs. Stored values must
+// stay above kEmpty.
+constexpr Value kStale = std::numeric_limits<Value>::min();
+constexpr Value kEmpty = std::numeric_limits<Value>::min() + 1;
+constexpr Value kFull = 0;
+constexpr Value kOk = 1;
+}  // namespace
+
+// -------------------------------------------------------------- Register
+
+Register::Register(api::System& system, ObjectId object)
+    : system_(system), object_(object) {}
+
+void Register::write(ProcessId process, Value value, std::function<void()> done) {
+  system_.submit(process, 1, mscript::lib::make_write(object_, value),
+                 [done = std::move(done)](const protocols::InvocationOutcome&) {
+                   if (done) done();
+                 });
+}
+
+void Register::read(ProcessId process, std::function<void(Value)> done) {
+  system_.submit(process, 1, mscript::lib::make_read(object_),
+                 [done = std::move(done)](const protocols::InvocationOutcome& out) {
+                   done(out.return_value);
+                 });
+}
+
+// --------------------------------------------------------------- Counter
+
+Counter::Counter(api::System& system, ObjectId object)
+    : system_(system), object_(object) {}
+
+void Counter::fetch_add(ProcessId process, Value delta,
+                        std::function<void(Value)> done) {
+  system_.submit(process, 1, mscript::lib::make_fetch_add(object_, delta),
+                 [done = std::move(done)](const protocols::InvocationOutcome& out) {
+                   if (done) done(out.return_value);
+                 });
+}
+
+void Counter::get(ProcessId process, std::function<void(Value)> done) {
+  system_.submit(process, 1, mscript::lib::make_read(object_),
+                 [done = std::move(done)](const protocols::InvocationOutcome& out) {
+                   done(out.return_value);
+                 });
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+BoundedQueue::BoundedQueue(api::System& system, ObjectId base, std::size_t capacity)
+    : system_(system), base_(base), capacity_(capacity) {
+  MOCC_ASSERT(capacity >= 1);
+}
+
+mscript::Program BoundedQueue::make_enqueue(std::int64_t expected_tail,
+                                            Value value) const {
+  MOCC_ASSERT_MSG(value > kEmpty, "queue values must stay above the sentinels");
+  mscript::Builder b("queue_enqueue");
+  const auto t = b.reg();
+  const auto expect = b.reg();
+  const auto cond = b.reg();
+  const auto h = b.reg();
+  const auto cap = b.reg();
+  const auto used = b.reg();
+  const auto val = b.reg();
+  b.read(t, tail())
+      .load_const(expect, expected_tail)
+      .cmp_eq(cond, t, expect)
+      .jump_if_zero(cond, "stale")
+      .read(h, head())
+      .sub(used, t, h)
+      .load_const(cap, static_cast<Value>(capacity_))
+      .cmp_lt(cond, used, cap)
+      .jump_if_zero(cond, "full")
+      .load_const(val, value)
+      .write(cell(static_cast<std::uint64_t>(expected_tail)), val)
+      .load_const(val, expected_tail + 1)
+      .write(tail(), val)
+      .ret_const(kOk)
+      .label("full")
+      .ret_const(kFull)
+      .label("stale")
+      .ret_const(kStale);
+  return b.build();
+}
+
+mscript::Program BoundedQueue::make_dequeue(std::int64_t expected_head) const {
+  mscript::Builder b("queue_dequeue");
+  const auto h = b.reg();
+  const auto expect = b.reg();
+  const auto cond = b.reg();
+  const auto t = b.reg();
+  const auto val = b.reg();
+  b.read(h, head())
+      .load_const(expect, expected_head)
+      .cmp_eq(cond, h, expect)
+      .jump_if_zero(cond, "stale")
+      .read(t, tail())
+      .cmp_eq(cond, h, t)
+      .jump_if_nonzero(cond, "empty")
+      .read(val, cell(static_cast<std::uint64_t>(expected_head)))
+      .load_const(h, expected_head + 1)
+      .write(head(), h)
+      .ret(val)
+      .label("empty")
+      .ret_const(kEmpty)
+      .label("stale")
+      .ret_const(kStale);
+  return b.build();
+}
+
+void BoundedQueue::enqueue(ProcessId process, Value value,
+                           std::function<void(bool)> done, std::size_t max_retries) {
+  enqueue_attempt(process, value, std::move(done),
+                  max_retries == 0 ? std::numeric_limits<std::size_t>::max()
+                                   : max_retries);
+}
+
+void BoundedQueue::enqueue_attempt(ProcessId process, Value value,
+                                   std::function<void(bool)> done,
+                                   std::size_t budget) {
+  // Speculate: observe the tail, then validate-and-apply atomically.
+  system_.submit(
+      process, 1, mscript::lib::make_read(tail()),
+      [this, process, value, done = std::move(done),
+       budget](const protocols::InvocationOutcome& snapshot) mutable {
+        system_.submit(
+            process, 1, make_enqueue(snapshot.return_value, value),
+            [this, process, value, done = std::move(done),
+             budget](const protocols::InvocationOutcome& out) mutable {
+              if (out.return_value == kOk) {
+                if (done) done(true);
+              } else if (out.return_value == kFull) {
+                if (done) done(false);
+              } else if (budget > 1) {
+                enqueue_attempt(process, value, std::move(done), budget - 1);
+              } else if (done) {
+                done(false);
+              }
+            });
+      });
+}
+
+void BoundedQueue::dequeue(ProcessId process,
+                           std::function<void(std::optional<Value>)> done,
+                           std::size_t max_retries) {
+  dequeue_attempt(process, std::move(done),
+                  max_retries == 0 ? std::numeric_limits<std::size_t>::max()
+                                   : max_retries);
+}
+
+void BoundedQueue::dequeue_attempt(ProcessId process,
+                                   std::function<void(std::optional<Value>)> done,
+                                   std::size_t budget) {
+  system_.submit(
+      process, 1, mscript::lib::make_read(head()),
+      [this, process, done = std::move(done),
+       budget](const protocols::InvocationOutcome& snapshot) mutable {
+        system_.submit(
+            process, 1, make_dequeue(snapshot.return_value),
+            [this, process, done = std::move(done),
+             budget](const protocols::InvocationOutcome& out) mutable {
+              if (out.return_value == kEmpty) {
+                done(std::nullopt);
+              } else if (out.return_value == kStale) {
+                if (budget > 1) {
+                  dequeue_attempt(process, std::move(done), budget - 1);
+                } else {
+                  done(std::nullopt);
+                }
+              } else {
+                done(out.return_value);
+              }
+            });
+      });
+}
+
+// ----------------------------------------------------------------- Stack
+
+Stack::Stack(api::System& system, ObjectId base, std::size_t capacity)
+    : system_(system), base_(base), capacity_(capacity) {
+  MOCC_ASSERT(capacity >= 1);
+}
+
+mscript::Program Stack::make_push(std::int64_t expected_top, Value value) const {
+  MOCC_ASSERT_MSG(value > kEmpty, "stack values must stay above the sentinels");
+  mscript::Builder b("stack_push");
+  const auto t = b.reg();
+  const auto expect = b.reg();
+  const auto cond = b.reg();
+  const auto val = b.reg();
+  b.read(t, top())
+      .load_const(expect, expected_top)
+      .cmp_eq(cond, t, expect)
+      .jump_if_zero(cond, "stale");
+  if (static_cast<std::size_t>(expected_top) >= capacity_) {
+    b.ret_const(kFull);
+  } else {
+    b.load_const(val, value)
+        .write(cell(expected_top), val)
+        .load_const(val, expected_top + 1)
+        .write(top(), val)
+        .ret_const(kOk);
+  }
+  b.label("stale").ret_const(kStale);
+  return b.build();
+}
+
+mscript::Program Stack::make_pop(std::int64_t expected_top) const {
+  mscript::Builder b("stack_pop");
+  const auto t = b.reg();
+  const auto expect = b.reg();
+  const auto cond = b.reg();
+  const auto val = b.reg();
+  b.read(t, top())
+      .load_const(expect, expected_top)
+      .cmp_eq(cond, t, expect)
+      .jump_if_zero(cond, "stale");
+  if (expected_top <= 0) {
+    b.ret_const(kEmpty);
+  } else {
+    b.read(val, cell(expected_top - 1))
+        .load_const(expect, expected_top - 1)
+        .write(top(), expect)
+        .ret(val);
+  }
+  b.label("stale").ret_const(kStale);
+  return b.build();
+}
+
+void Stack::push(ProcessId process, Value value, std::function<void(bool)> done,
+                 std::size_t max_retries) {
+  push_attempt(process, value, std::move(done),
+               max_retries == 0 ? std::numeric_limits<std::size_t>::max()
+                                : max_retries);
+}
+
+void Stack::push_attempt(ProcessId process, Value value,
+                         std::function<void(bool)> done, std::size_t budget) {
+  system_.submit(
+      process, 1, mscript::lib::make_read(top()),
+      [this, process, value, done = std::move(done),
+       budget](const protocols::InvocationOutcome& snapshot) mutable {
+        system_.submit(
+            process, 1, make_push(snapshot.return_value, value),
+            [this, process, value, done = std::move(done),
+             budget](const protocols::InvocationOutcome& out) mutable {
+              if (out.return_value == kOk) {
+                if (done) done(true);
+              } else if (out.return_value == kFull) {
+                if (done) done(false);
+              } else if (budget > 1) {
+                push_attempt(process, value, std::move(done), budget - 1);
+              } else if (done) {
+                done(false);
+              }
+            });
+      });
+}
+
+void Stack::pop(ProcessId process, std::function<void(std::optional<Value>)> done,
+                std::size_t max_retries) {
+  pop_attempt(process, std::move(done),
+              max_retries == 0 ? std::numeric_limits<std::size_t>::max()
+                               : max_retries);
+}
+
+void Stack::pop_attempt(ProcessId process,
+                        std::function<void(std::optional<Value>)> done,
+                        std::size_t budget) {
+  system_.submit(
+      process, 1, mscript::lib::make_read(top()),
+      [this, process, done = std::move(done),
+       budget](const protocols::InvocationOutcome& snapshot) mutable {
+        system_.submit(
+            process, 1, make_pop(snapshot.return_value),
+            [this, process, done = std::move(done),
+             budget](const protocols::InvocationOutcome& out) mutable {
+              if (out.return_value == kEmpty) {
+                done(std::nullopt);
+              } else if (out.return_value == kStale) {
+                if (budget > 1) {
+                  pop_attempt(process, std::move(done), budget - 1);
+                } else {
+                  done(std::nullopt);
+                }
+              } else {
+                done(out.return_value);
+              }
+            });
+      });
+}
+
+}  // namespace mocc::objects

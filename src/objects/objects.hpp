@@ -1,0 +1,145 @@
+// Typed concurrent objects built from m-operations.
+//
+// Herlihy's model (which §1 extends) is about representing powerful
+// concurrent objects; this layer shows the m-operation model doing that
+// job: registers, counters, a bounded FIFO queue and a stack, each
+// implemented as MScript programs against the replicated store and
+// inheriting whatever consistency condition the underlying System runs
+// (m-linearizability gives the usual linearizable-object semantics).
+//
+// The queue and stack use *client-side speculation*: a query observes the
+// structure's cursor(s), then a conditional m-operation validates the
+// observation and applies the mutation atomically — the optimistic
+// pattern DCAS enables (§1), generalized to whole-structure conditions.
+// MScript addresses objects with immediate ids, so the cell to touch is
+// chosen client-side from the observed cursor and validated inside the
+// m-operation; a stale observation fails cleanly and the wrapper retries.
+//
+// All completions are asynchronous callbacks; the simulation delivers
+// them. Ordering caveat: an operation is ordered by its *commit* (the
+// successful conditional m-operation), so two structure operations
+// pipelined from the same process may commit in either order — chain
+// calls through the completion callback where issue order must be
+// preserved (e.g. per-producer FIFO into a queue).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "api/system.hpp"
+#include "mscript/program.hpp"
+
+namespace mocc::objects {
+
+using Value = mscript::Value;
+using ObjectId = mscript::ObjectId;
+using ProcessId = core::ProcessId;
+
+/// A single shared register occupying one object.
+class Register {
+ public:
+  Register(api::System& system, ObjectId object);
+
+  void write(ProcessId process, Value value, std::function<void()> done = {});
+  void read(ProcessId process, std::function<void(Value)> done);
+
+  static constexpr std::size_t objects_needed() { return 1; }
+
+ private:
+  api::System& system_;
+  ObjectId object_;
+};
+
+/// A shared counter with atomic fetch-and-add.
+class Counter {
+ public:
+  Counter(api::System& system, ObjectId object);
+
+  /// Calls done(old_value).
+  void fetch_add(ProcessId process, Value delta, std::function<void(Value)> done = {});
+  void get(ProcessId process, std::function<void(Value)> done);
+
+  static constexpr std::size_t objects_needed() { return 1; }
+
+ private:
+  api::System& system_;
+  ObjectId object_;
+};
+
+/// Bounded multi-producer multi-consumer FIFO queue.
+///
+/// Layout: [head, tail, cell_0 .. cell_{capacity-1}] starting at `base`.
+/// head/tail are monotone counters; cell index = cursor mod capacity.
+/// Stored values must be non-negative (negative space is reserved for
+/// the internal stale/empty/full sentinels).
+class BoundedQueue {
+ public:
+  BoundedQueue(api::System& system, ObjectId base, std::size_t capacity);
+
+  static std::size_t objects_needed(std::size_t capacity) { return 2 + capacity; }
+
+  /// done(true) once enqueued; done(false) if the queue was full at the
+  /// linearization point. Retries stale speculations internally (up to
+  /// `max_retries` whole attempts, 0 = unbounded).
+  void enqueue(ProcessId process, Value value, std::function<void(bool)> done = {},
+               std::size_t max_retries = 0);
+
+  /// done(value) on success; done(nullopt) if empty.
+  void dequeue(ProcessId process, std::function<void(std::optional<Value>)> done,
+               std::size_t max_retries = 0);
+
+ private:
+  ObjectId head() const { return base_; }
+  ObjectId tail() const { return base_ + 1; }
+  ObjectId cell(std::uint64_t cursor) const {
+    return base_ + 2 + static_cast<ObjectId>(cursor % capacity_);
+  }
+
+  mscript::Program make_enqueue(std::int64_t expected_tail, Value value) const;
+  mscript::Program make_dequeue(std::int64_t expected_head) const;
+
+  void enqueue_attempt(ProcessId process, Value value, std::function<void(bool)> done,
+                       std::size_t budget);
+  void dequeue_attempt(ProcessId process,
+                       std::function<void(std::optional<Value>)> done,
+                       std::size_t budget);
+
+  api::System& system_;
+  ObjectId base_;
+  std::size_t capacity_;
+};
+
+/// Unbounded (capacity-limited) LIFO stack: [top, cell_0 ..].
+class Stack {
+ public:
+  Stack(api::System& system, ObjectId base, std::size_t capacity);
+
+  static std::size_t objects_needed(std::size_t capacity) { return 1 + capacity; }
+
+  /// done(true) on success, done(false) when full.
+  void push(ProcessId process, Value value, std::function<void(bool)> done = {},
+            std::size_t max_retries = 0);
+  /// done(value) or done(nullopt) when empty.
+  void pop(ProcessId process, std::function<void(std::optional<Value>)> done,
+           std::size_t max_retries = 0);
+
+ private:
+  ObjectId top() const { return base_; }
+  ObjectId cell(std::int64_t index) const {
+    return base_ + 1 + static_cast<ObjectId>(index);
+  }
+
+  mscript::Program make_push(std::int64_t expected_top, Value value) const;
+  mscript::Program make_pop(std::int64_t expected_top) const;
+
+  void push_attempt(ProcessId process, Value value, std::function<void(bool)> done,
+                    std::size_t budget);
+  void pop_attempt(ProcessId process, std::function<void(std::optional<Value>)> done,
+                   std::size_t budget);
+
+  api::System& system_;
+  ObjectId base_;
+  std::size_t capacity_;
+};
+
+}  // namespace mocc::objects

@@ -1,0 +1,207 @@
+#include "protocols/mlin_replica.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace mocc::protocols {
+
+MLinReplica::MLinReplica(std::size_t num_objects,
+                         std::unique_ptr<abcast::AtomicBroadcast> abcast,
+                         ExecutionRecorder& recorder, Options options)
+    : num_objects_(num_objects),
+      abcast_(std::move(abcast)),
+      recorder_(recorder),
+      options_(options),
+      my_x_(num_objects, 0),
+      myts_(num_objects),
+      last_writer_(num_objects, core::kInitialMOp) {
+  MOCC_ASSERT(abcast_ != nullptr);
+}
+
+void MLinReplica::on_start(sim::Context& ctx) {
+  abcast_->set_deliver([this](sim::Context& live_ctx, sim::NodeId origin,
+                              const std::vector<std::uint8_t>& payload) {
+    on_deliver(live_ctx, origin, payload);
+  });
+  abcast_->on_start(ctx);
+}
+
+void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
+                         ResponseFn on_response) {
+  const core::Time invoke_time = ctx.now();
+  const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
+
+  if (program.is_update()) {
+    // (A1): identical to Figure 4.
+    util::ByteWriter out;
+    out.put_u32(id);
+    program.encode(out);
+    pending_updates_[id] = PendingUpdate{std::move(on_response), invoke_time};
+    abcast_->broadcast(ctx, out.take());
+    return;
+  }
+
+  // (A3): ask every process for its copy. Our own copy seeds othX/othts.
+  const std::uint64_t qid = next_qid_++;
+  PendingQuery query;
+  query.id = id;
+  query.program = program;
+  query.on_response = std::move(on_response);
+  query.invoke = invoke_time;
+  query.oth_x = my_x_;
+  query.othts = myts_;
+  query.oth_writer = last_writer_;
+
+  util::ByteWriter out;
+  out.put_u64(qid);
+  if (options_.narrow_replies) {
+    out.put_u32_vector(program.may_read());
+  } else {
+    out.put_u32_vector({});  // empty = whole store
+  }
+  pending_queries_[qid] = std::move(query);
+
+  if (ctx.num_nodes() == 1) {
+    finish_query(ctx, qid);
+    return;
+  }
+  ctx.send_to_others(kQuery, out.bytes());
+}
+
+void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
+                             const std::vector<std::uint8_t>& payload) {
+  // (A2): identical to Figure 4.
+  util::ByteReader in(payload);
+  const core::MOpId id = in.get_u32();
+  const mscript::Program program = mscript::Program::decode(in);
+
+  const std::uint64_t ww_seq = deliveries_++;
+
+  RecordingStore store(my_x_, last_writer_, id);
+  const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
+  for (const mscript::ObjectId x : exec.objects_written()) {
+    myts_.increment(x);
+  }
+
+  if (origin == ctx.self()) {
+    const auto it = pending_updates_.find(id);
+    MOCC_ASSERT_MSG(it != pending_updates_.end(),
+                    "delivered own update without pending state");
+    const PendingUpdate pending = std::move(it->second);
+    pending_updates_.erase(it);
+    const core::Time response_time = ctx.now();
+    recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    pending.on_response(
+        InvocationOutcome{id, exec.return_value, pending.invoke, response_time});
+  }
+}
+
+void MLinReplica::on_query(sim::Context& ctx, const sim::Message& message) {
+  // (A4): reply with our copy and its timestamps (plus the last-writer
+  // table, which exists for history recording, not for the protocol).
+  util::ByteReader in(message.payload);
+  const std::uint64_t qid = in.get_u64();
+  const std::vector<std::uint32_t> objects = in.get_u32_vector();
+
+  util::ByteWriter out;
+  out.put_u64(qid);
+  out.put_u32_vector(objects);
+  out.put_u64_vector(myts_.entries());  // full ts always (8B/object)
+  if (objects.empty()) {
+    out.put_i64_vector(my_x_);
+    out.put_u32_vector(last_writer_);
+  } else {
+    std::vector<core::Value> values;
+    std::vector<core::MOpId> writers;
+    values.reserve(objects.size());
+    writers.reserve(objects.size());
+    for (const auto x : objects) {
+      MOCC_ASSERT(x < num_objects_);
+      values.push_back(my_x_[x]);
+      writers.push_back(last_writer_[x]);
+    }
+    out.put_i64_vector(values);
+    out.put_u32_vector(writers);
+  }
+  ctx.send(message.from, kQueryResp, out.take());
+}
+
+void MLinReplica::on_query_response(sim::Context& ctx, const sim::Message& message) {
+  util::ByteReader in(message.payload);
+  const std::uint64_t qid = in.get_u64();
+  const std::vector<std::uint32_t> objects = in.get_u32_vector();
+  auto entries = in.get_u64_vector();
+  MOCC_ASSERT(entries.size() == num_objects_);
+  const util::VersionVector ts = util::VersionVector::from_entries(std::move(entries));
+  const std::vector<core::Value> values = in.get_i64_vector();
+  const std::vector<std::uint32_t> writers = in.get_u32_vector();
+
+  const auto it = pending_queries_.find(qid);
+  MOCC_ASSERT_MSG(it != pending_queries_.end(), "query response for unknown query");
+  PendingQuery& query = it->second;
+
+  if (objects.empty()) {
+    // (A5), literal: replicas driven by the same total order hold
+    // pointwise-comparable timestamps — keep the larger copy whole.
+    MOCC_ASSERT_MSG(query.othts.comparable(ts),
+                    "replica timestamps not comparable — abcast order broken");
+    if (query.othts.pointwise_less(ts)) {
+      MOCC_ASSERT(values.size() == num_objects_ && writers.size() == num_objects_);
+      query.oth_x = values;
+      query.othts = ts;
+      query.oth_writer = writers;
+    }
+  } else {
+    // Narrow replies (§5.2 closing remark): take each object from the
+    // freshest copy seen; merge timestamps componentwise for ts(finish).
+    MOCC_ASSERT(values.size() == objects.size() && writers.size() == objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      const auto x = objects[i];
+      if (ts[x] > query.othts[x]) {
+        query.oth_x[x] = values[i];
+        query.oth_writer[x] = writers[i];
+      }
+    }
+    query.othts.merge_max(ts);
+  }
+
+  ++query.replies;
+  if (query.replies == ctx.num_nodes() - 1) {
+    finish_query(ctx, qid);
+  }
+}
+
+void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
+  // (A6): all replies in — read from the constructed copy and respond.
+  const auto it = pending_queries_.find(qid);
+  MOCC_ASSERT(it != pending_queries_.end());
+  PendingQuery query = std::move(it->second);
+  pending_queries_.erase(it);
+
+  RecordingStore store(query.oth_x, query.oth_writer, query.id);
+  const mscript::ExecutionResult exec = mscript::Vm::run(query.program, store);
+  MOCC_ASSERT_MSG(exec.objects_written().empty(), "query program performed a write");
+
+  const core::Time response_time = ctx.now();
+  recorder_.complete(query.id, store.take_ops(), response_time, query.othts,
+                     std::nullopt);
+  query.on_response(
+      InvocationOutcome{query.id, exec.return_value, query.invoke, response_time});
+}
+
+void MLinReplica::on_message(sim::Context& ctx, const sim::Message& message) {
+  if (message.kind == kQuery) {
+    on_query(ctx, message);
+    return;
+  }
+  if (message.kind == kQueryResp) {
+    on_query_response(ctx, message);
+    return;
+  }
+  const bool consumed = abcast_->on_message(ctx, message);
+  MOCC_ASSERT_MSG(consumed, "m-lin replica received a foreign message kind");
+}
+
+}  // namespace mocc::protocols

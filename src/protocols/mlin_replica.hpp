@@ -1,0 +1,100 @@
+// The m-linearizability protocol (Figure 6).
+//
+// Updates are handled exactly as in Figure 4 (A1/A2: atomic broadcast,
+// apply everywhere, respond at the origin). Queries must not read stale
+// values, and — unlike Attiya–Welch's linearizable construction — the
+// protocol assumes nothing about clock synchronization or message delay:
+//   (A3) on invoking a query: reset `othts`, send "query" to all
+//        processes;
+//   (A4) on receiving a "query": reply with ⟨myX, myts⟩;
+//   (A5) on each reply ⟨X, ts⟩: if othts < ts, keep ⟨X, ts⟩;
+//   (A6) once all replies arrived: apply the query to othX, respond.
+//
+// Because every replica applies the same abcast prefix, the returned
+// timestamps are totally ordered under the pointwise order (asserted at
+// A5), and keeping the maximum yields a copy at least as fresh as every
+// copy that existed when the query started — which is what pins
+// real-time order (Lemma 16, cases 2.x).
+//
+// Implementation detail: the querying process contributes its own copy
+// locally (no self-message), so a query costs exactly 2(n-1) messages.
+// Replies carry the last-writer table alongside ⟨myX, myts⟩ so the
+// recorder can attribute reads-from at m-operation granularity; the
+// paper's closing remark (§5.2) licenses restricting the reply to the
+// objects the query declares — enabled with `narrow_replies`.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "abcast/abcast.hpp"
+#include "protocols/replica.hpp"
+#include "util/timestamp.hpp"
+
+namespace mocc::protocols {
+
+class MLinReplica final : public Replica {
+ public:
+  static constexpr std::uint32_t kQuery = kProtocolKindFirst + 0;
+  static constexpr std::uint32_t kQueryResp = kProtocolKindFirst + 1;
+
+  struct Options {
+    /// §5.2 optimization: replies carry only the objects the query may
+    /// read instead of the whole store.
+    bool narrow_replies = false;
+  };
+
+  MLinReplica(std::size_t num_objects, std::unique_ptr<abcast::AtomicBroadcast> abcast,
+              ExecutionRecorder& recorder, Options options);
+  MLinReplica(std::size_t num_objects, std::unique_ptr<abcast::AtomicBroadcast> abcast,
+              ExecutionRecorder& recorder)
+      : MLinReplica(num_objects, std::move(abcast), recorder, Options()) {}
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& message) override;
+  void invoke(sim::Context& ctx, mscript::Program program,
+              ResponseFn on_response) override;
+
+  const util::VersionVector& timestamp() const { return myts_; }
+  const std::vector<core::Value>& store() const { return my_x_; }
+
+ private:
+  void on_deliver(sim::Context& ctx, sim::NodeId origin,
+                  const std::vector<std::uint8_t>& payload);
+  void on_query(sim::Context& ctx, const sim::Message& message);
+  void on_query_response(sim::Context& ctx, const sim::Message& message);
+  void finish_query(sim::Context& ctx, std::uint64_t qid);
+
+  std::size_t num_objects_;
+  std::unique_ptr<abcast::AtomicBroadcast> abcast_;
+  ExecutionRecorder& recorder_;
+  Options options_;
+
+  std::vector<core::Value> my_x_;
+  util::VersionVector myts_;
+  std::vector<core::MOpId> last_writer_;
+  std::uint64_t deliveries_ = 0;
+
+  struct PendingUpdate {
+    ResponseFn on_response;
+    core::Time invoke = 0;
+  };
+  std::map<core::MOpId, PendingUpdate> pending_updates_;
+
+  struct PendingQuery {
+    core::MOpId id = 0;
+    mscript::Program program;
+    ResponseFn on_response;
+    core::Time invoke = 0;
+    std::size_t replies = 0;
+    // othX / othts / oth last-writer: the freshest copy seen so far,
+    // seeded from the local replica.
+    std::vector<core::Value> oth_x;
+    util::VersionVector othts;
+    std::vector<core::MOpId> oth_writer;
+  };
+  std::uint64_t next_qid_ = 0;
+  std::map<std::uint64_t, PendingQuery> pending_queries_;
+};
+
+}  // namespace mocc::protocols

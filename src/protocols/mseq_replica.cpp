@@ -1,0 +1,110 @@
+#include "protocols/mseq_replica.hpp"
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace mocc::protocols {
+
+RecordingStore::RecordingStore(std::vector<core::Value>& values,
+                               std::vector<core::MOpId>& last_writer, core::MOpId self)
+    : values_(values), last_writer_(last_writer), self_(self) {}
+
+mscript::Value RecordingStore::read(mscript::ObjectId object) {
+  MOCC_ASSERT(object < values_.size());
+  ops_.push_back(core::Operation::read(object, values_[object], last_writer_[object]));
+  return values_[object];
+}
+
+void RecordingStore::write(mscript::ObjectId object, mscript::Value value) {
+  MOCC_ASSERT(object < values_.size());
+  values_[object] = value;
+  last_writer_[object] = self_;
+  ops_.push_back(core::Operation::write(object, value));
+}
+
+MSeqReplica::MSeqReplica(std::size_t num_objects,
+                         std::unique_ptr<abcast::AtomicBroadcast> abcast,
+                         ExecutionRecorder& recorder, Options options)
+    : num_objects_(num_objects),
+      abcast_(std::move(abcast)),
+      recorder_(recorder),
+      options_(options),
+      my_x_(num_objects, 0),
+      myts_(num_objects),
+      last_writer_(num_objects, core::kInitialMOp) {
+  MOCC_ASSERT(abcast_ != nullptr);
+}
+
+void MSeqReplica::on_start(sim::Context& ctx) {
+  abcast_->set_deliver([this](sim::Context& live_ctx, sim::NodeId origin,
+                              const std::vector<std::uint8_t>& payload) {
+    on_deliver(live_ctx, origin, payload);
+  });
+  abcast_->on_start(ctx);
+}
+
+void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
+                         ResponseFn on_response) {
+  const core::Time invoke_time = ctx.now();
+  const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
+
+  if (program.is_update() || options_.broadcast_queries) {
+    // (A1): atomically broadcast the m-operation. In broadcast-queries
+    // mode queries take the same path and execute at delivery, pinning
+    // them to one point of the total order (m-linearizability).
+    util::ByteWriter out;
+    out.put_u32(id);
+    program.encode(out);
+    pending_[id] = PendingUpdate{std::move(on_response), invoke_time};
+    abcast_->broadcast(ctx, out.take());
+    return;
+  }
+
+  // (A3): queries execute against the local copy, no messages.
+  RecordingStore store(my_x_, last_writer_, id);
+  const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
+  MOCC_ASSERT_MSG(exec.objects_written().empty(), "query program performed a write");
+  const core::Time response_time = ctx.now();
+  recorder_.complete(id, store.take_ops(), response_time, myts_, std::nullopt);
+  on_response(InvocationOutcome{id, exec.return_value, invoke_time, response_time});
+}
+
+void MSeqReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
+                             const std::vector<std::uint8_t>& payload) {
+  // (A2): apply the m-operation to the local copy; bump versions of the
+  // objects written; respond if we are the origin.
+  util::ByteReader in(payload);
+  const core::MOpId id = in.get_u32();
+  const mscript::Program program = mscript::Program::decode(in);
+
+  // ~ww records the broadcast position of *updates* (queries riding the
+  // stream in broadcast-queries mode are ordered by real time alone —
+  // P5.1 forbids synthesizing stronger query-query edges).
+  const std::uint64_t seq = deliveries_++;
+  const std::optional<std::uint64_t> ww_seq =
+      program.is_update() ? std::optional<std::uint64_t>(seq) : std::nullopt;
+
+  RecordingStore store(my_x_, last_writer_, id);
+  const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
+  for (const mscript::ObjectId x : exec.objects_written()) {
+    myts_.increment(x);
+  }
+
+  if (origin == ctx.self()) {
+    const auto it = pending_.find(id);
+    MOCC_ASSERT_MSG(it != pending_.end(), "delivered own update without pending state");
+    const PendingUpdate pending = std::move(it->second);
+    pending_.erase(it);
+    const core::Time response_time = ctx.now();
+    recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    pending.on_response(
+        InvocationOutcome{id, exec.return_value, pending.invoke, response_time});
+  }
+}
+
+void MSeqReplica::on_message(sim::Context& ctx, const sim::Message& message) {
+  const bool consumed = abcast_->on_message(ctx, message);
+  MOCC_ASSERT_MSG(consumed, "m-seq replica received a foreign message kind");
+}
+
+}  // namespace mocc::protocols

@@ -1,0 +1,97 @@
+#include "protocols/recorder.hpp"
+
+#include <algorithm>
+
+#include "core/relations.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::protocols {
+
+ExecutionRecorder::ExecutionRecorder(std::size_t num_processes, std::size_t num_objects)
+    : num_processes_(num_processes), num_objects_(num_objects) {}
+
+core::MOpId ExecutionRecorder::begin(core::ProcessId process, std::string label,
+                                     core::Time invoke) {
+  MOCC_ASSERT(process < num_processes_);
+  InvocationRecord record;
+  record.process = process;
+  record.label = std::move(label);
+  record.invoke = invoke;
+  records_.push_back(std::move(record));
+  return static_cast<core::MOpId>(records_.size() - 1);
+}
+
+void ExecutionRecorder::complete(core::MOpId id, std::vector<core::Operation> ops,
+                                 core::Time response, util::VersionVector timestamp,
+                                 std::optional<std::uint64_t> ww_seq) {
+  MOCC_ASSERT(id < records_.size());
+  InvocationRecord& record = records_[id];
+  MOCC_ASSERT_MSG(!record.completed, "double completion");
+  record.ops = std::move(ops);
+  record.response = response;
+  record.timestamp = std::move(timestamp);
+  record.ww_seq = ww_seq;
+  record.completed = true;
+}
+
+bool ExecutionRecorder::all_completed() const {
+  for (const auto& record : records_) {
+    if (!record.completed) return false;
+  }
+  return true;
+}
+
+const InvocationRecord& ExecutionRecorder::record(core::MOpId id) const {
+  MOCC_ASSERT(id < records_.size());
+  return records_[id];
+}
+
+core::History ExecutionRecorder::build_history() const {
+  MOCC_ASSERT_MSG(all_completed(), "cannot build history with outstanding invocations");
+  core::History h(num_processes_, num_objects_);
+  for (const auto& record : records_) {
+    h.add(core::MOperation(record.process, record.ops, record.invoke, record.response,
+                           record.label));
+  }
+  return h;
+}
+
+util::BitRelation ExecutionRecorder::build_ww_order() const {
+  util::BitRelation ww(records_.size());
+  std::vector<std::pair<std::uint64_t, core::MOpId>> updates;
+  for (core::MOpId id = 0; id < records_.size(); ++id) {
+    if (records_[id].ww_seq.has_value()) updates.emplace_back(*records_[id].ww_seq, id);
+  }
+  std::sort(updates.begin(), updates.end());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    for (std::size_t j = i + 1; j < updates.size(); ++j) {
+      ww.add(updates[i].second, updates[j].second);
+    }
+  }
+  return ww;
+}
+
+core::ProtocolTrace ExecutionRecorder::build_trace(const core::History& h,
+                                                   bool include_process_order) const {
+  MOCC_ASSERT(h.size() == records_.size());
+  core::ProtocolTrace trace;
+  trace.sync_order = core::reads_from_order(h);
+  if (include_process_order) {
+    trace.sync_order.merge(core::process_order(h));  // Figure 4: ~P ∪ ~rf ∪ ~ww
+  } else {
+    trace.sync_order.merge(core::real_time_order(h));  // Figure 6: ~rf ∪ ~t ∪ ~ww
+  }
+  trace.sync_order.merge(build_ww_order());
+  trace.timestamps.reserve(records_.size());
+  trace.is_update.reserve(records_.size());
+  for (const auto& record : records_) {
+    util::VersionVector ts = record.timestamp;
+    if (ts.size() == 0) ts = util::VersionVector(num_objects_);
+    trace.timestamps.push_back(std::move(ts));
+    // Broadcast position present <=> conservatively an update.
+    trace.is_update.push_back(record.ww_seq.has_value());
+  }
+  return trace;
+}
+
+}  // namespace mocc::protocols

@@ -1,0 +1,76 @@
+// Execution recording: turning protocol runs into checkable histories.
+//
+// Every protocol records each m-operation it completes: the operations
+// performed (with reads-from at m-operation granularity), invocation and
+// response virtual times, and — for the timestamp-based protocols of §5 —
+// the version-vector timestamp ts(α) = ts(finish(α)) and the atomic
+// broadcast position, so the paper's P5.x properties can be audited after
+// the run (core/audit.hpp) and the history checked against the claimed
+// consistency condition.
+//
+// Ids are assigned at invocation time (so in-flight updates can be named
+// by replicas' last-writer tables before their origin records the
+// response) and the history materializes ops in id order, which preserves
+// per-process program order because drivers are closed-loop.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/history.hpp"
+#include "util/timestamp.hpp"
+
+namespace mocc::protocols {
+
+struct InvocationRecord {
+  core::ProcessId process = 0;
+  std::string label;
+  core::Time invoke = 0;
+  core::Time response = 0;
+  std::vector<core::Operation> ops;
+  /// ts(finish(α)) for timestamp-based protocols; empty otherwise.
+  util::VersionVector timestamp;
+  /// Position in the atomic broadcast total order (updates only).
+  std::optional<std::uint64_t> ww_seq;
+  bool completed = false;
+};
+
+class ExecutionRecorder {
+ public:
+  ExecutionRecorder(std::size_t num_processes, std::size_t num_objects);
+
+  /// Reserves an id at invocation time.
+  core::MOpId begin(core::ProcessId process, std::string label, core::Time invoke);
+
+  void complete(core::MOpId id, std::vector<core::Operation> ops, core::Time response,
+                util::VersionVector timestamp,
+                std::optional<std::uint64_t> ww_seq);
+
+  std::size_t size() const { return records_.size(); }
+  bool all_completed() const;
+  const InvocationRecord& record(core::MOpId id) const;
+
+  /// Builds the history of completed m-operations. Aborts if any
+  /// invocation is still outstanding (drivers drain before building).
+  core::History build_history() const;
+
+  /// Builds the audit trace. `include_process_order` selects the Figure-4
+  /// definition of ~>H− (D5.3: ~P ∪ ~rf ∪ ~ww) versus Figure-6's
+  /// (D5.8: ~rf ∪ ~t ∪ ~ww).
+  core::ProtocolTrace build_trace(const core::History& h,
+                                  bool include_process_order) const;
+
+  /// Just the atomic broadcast order ~ww over updates (the explicit
+  /// synchronization a Theorem-7 fast check needs on top of the
+  /// condition's base order).
+  util::BitRelation build_ww_order() const;
+
+ private:
+  std::size_t num_processes_;
+  std::size_t num_objects_;
+  std::vector<InvocationRecord> records_;
+};
+
+}  // namespace mocc::protocols

@@ -1,0 +1,61 @@
+// Common replica interface.
+//
+// One replica per simulated process. Drivers invoke m-operations
+// (MScript programs) at a replica and receive an asynchronous completion;
+// the replica records the execution with the shared ExecutionRecorder.
+// Node ids and the paper's process ids coincide.
+#pragma once
+
+#include <functional>
+
+#include "core/types.hpp"
+#include "mscript/vm.hpp"
+#include "protocols/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace mocc::protocols {
+
+/// Protocol-layer message kinds (the abcast layer owns 100–199).
+inline constexpr std::uint32_t kProtocolKindFirst = 200;
+
+struct InvocationOutcome {
+  core::MOpId id = 0;
+  mscript::Value return_value = 0;
+  core::Time invoke = 0;
+  core::Time response = 0;
+};
+
+using ResponseFn = std::function<void(const InvocationOutcome&)>;
+
+class Replica : public sim::Actor {
+ public:
+  /// Starts executing `program` as one m-operation of this process.
+  /// `on_response` fires exactly once, at response time. At most one
+  /// invocation may be outstanding per replica (processes are sequential
+  /// threads of control, §2.1); drivers are closed-loop by construction.
+  virtual void invoke(sim::Context& ctx, mscript::Program program,
+                      ResponseFn on_response) = 0;
+};
+
+/// StoreView against a replica-local copy that records accesses at
+/// m-operation granularity: reads capture the last-writer m-operation of
+/// the copy they read, writes update value and last-writer.
+class RecordingStore final : public mscript::StoreView {
+ public:
+  RecordingStore(std::vector<core::Value>& values,
+                 std::vector<core::MOpId>& last_writer, core::MOpId self);
+
+  mscript::Value read(mscript::ObjectId object) override;
+  void write(mscript::ObjectId object, mscript::Value value) override;
+
+  /// Operations in program order, reads annotated with reads-from.
+  std::vector<core::Operation> take_ops() { return std::move(ops_); }
+
+ private:
+  std::vector<core::Value>& values_;
+  std::vector<core::MOpId>& last_writer_;
+  core::MOpId self_;
+  std::vector<core::Operation> ops_;
+};
+
+}  // namespace mocc::protocols

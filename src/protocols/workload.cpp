@@ -1,0 +1,135 @@
+#include "protocols/workload.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mscript/library.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::protocols {
+
+namespace {
+
+/// Distinct objects, Zipf-weighted.
+std::vector<mscript::ObjectId> pick_objects(std::size_t count, std::size_t num_objects,
+                                            util::Rng& rng, util::ZipfGenerator& zipf) {
+  count = std::min(count, num_objects);
+  std::set<mscript::ObjectId> chosen;
+  while (chosen.size() < count) {
+    chosen.insert(static_cast<mscript::ObjectId>(zipf.next(rng)));
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+mscript::Program random_program(std::size_t num_objects, const WorkloadParams& params,
+                                util::Rng& rng, util::ZipfGenerator& zipf,
+                                std::uint64_t salt) {
+  const std::size_t footprint = std::max<std::size_t>(1, params.footprint);
+  const auto objects = pick_objects(footprint, num_objects, rng, zipf);
+
+  if (!rng.next_bool(params.update_ratio)) {
+    // Query: sum or read_all over the footprint.
+    if (rng.next_bool(0.5)) return mscript::lib::make_sum(objects);
+    return mscript::lib::make_read_all(objects);
+  }
+
+  if (objects.size() >= 2 && rng.next_bool(params.dcas_fraction)) {
+    // DCAS with random expectations: both success and failure paths are
+    // exercised (the conservative update rule broadcasts either way).
+    return mscript::lib::make_dcas(objects[0], objects[1],
+                                   rng.next_in(0, 3), rng.next_in(0, 3),
+                                   static_cast<mscript::Value>(salt * 4 + 1),
+                                   static_cast<mscript::Value>(salt * 4 + 2));
+  }
+  switch (salt % 3) {
+    case 0: {
+      std::vector<mscript::Value> values;
+      values.reserve(objects.size());
+      for (std::size_t i = 0; i < objects.size(); ++i) {
+        values.push_back(static_cast<mscript::Value>(salt * 16 + i));
+      }
+      return mscript::lib::make_m_assign(objects, values);
+    }
+    case 1:
+      if (objects.size() >= 2) {
+        return mscript::lib::make_transfer(objects[0], objects[1], rng.next_in(1, 5));
+      }
+      [[fallthrough]];
+    default: {
+      std::vector<mscript::Value> deltas;
+      deltas.reserve(objects.size());
+      for (std::size_t i = 0; i < objects.size(); ++i) {
+        deltas.push_back(rng.next_in(1, 9));
+      }
+      return mscript::lib::make_multi_add(objects, deltas);
+    }
+  }
+}
+
+WorkloadReport run_workload(sim::Simulator& sim, const std::vector<Replica*>& replicas,
+                            std::size_t num_objects, const WorkloadParams& params,
+                            std::uint64_t seed) {
+  MOCC_ASSERT(!replicas.empty());
+  auto report = std::make_shared<WorkloadReport>();
+  auto rng = std::make_shared<util::Rng>(seed);
+  auto zipf = std::make_shared<util::ZipfGenerator>(num_objects, params.zipf_skew);
+  auto salt = std::make_shared<std::uint64_t>(0);
+
+  // One self-rescheduling closure per process.
+  struct Loop : std::enable_shared_from_this<Loop> {
+    sim::Simulator& sim;
+    Replica& replica;
+    sim::NodeId node;
+    std::size_t remaining;
+    std::size_t num_objects;
+    const WorkloadParams& params;
+    std::shared_ptr<WorkloadReport> report;
+    std::shared_ptr<util::Rng> rng;
+    std::shared_ptr<util::ZipfGenerator> zipf;
+    std::shared_ptr<std::uint64_t> salt;
+
+    Loop(sim::Simulator& s, Replica& r, sim::NodeId n, std::size_t rem,
+         std::size_t objs, const WorkloadParams& p, std::shared_ptr<WorkloadReport> rep,
+         std::shared_ptr<util::Rng> rg, std::shared_ptr<util::ZipfGenerator> z,
+         std::shared_ptr<std::uint64_t> st)
+        : sim(s), replica(r), node(n), remaining(rem), num_objects(objs), params(p),
+          report(std::move(rep)), rng(std::move(rg)), zipf(std::move(z)),
+          salt(std::move(st)) {}
+
+    void issue() {
+      if (remaining == 0) return;
+      --remaining;
+      mscript::Program program =
+          random_program(num_objects, params, *rng, *zipf, (*salt)++);
+      const bool is_update = program.is_update();
+      sim::Context ctx(sim, node);
+      auto self = shared_from_this();
+      replica.invoke(ctx, std::move(program), [self, is_update](const InvocationOutcome& out) {
+        const auto latency = static_cast<double>(out.response - out.invoke);
+        if (is_update) {
+          self->report->update_latency.add(latency);
+          ++self->report->updates;
+        } else {
+          self->report->query_latency.add(latency);
+          ++self->report->queries;
+        }
+        self->sim.schedule_call(self->sim.now() + self->params.think_time,
+                                [self] { self->issue(); });
+      });
+    }
+  };
+
+  for (sim::NodeId node = 0; node < replicas.size(); ++node) {
+    auto loop = std::make_shared<Loop>(sim, *replicas[node], node,
+                                       params.ops_per_process, num_objects, params,
+                                       report, rng, zipf, salt);
+    sim.schedule_call(1 + node, [loop] { loop->issue(); });
+  }
+
+  sim.run();
+  return *report;
+}
+
+}  // namespace mocc::protocols

@@ -1,0 +1,59 @@
+// Closed-loop workload driver.
+//
+// Each process issues m-operations back-to-back (one outstanding at a
+// time — processes are sequential threads of control, §2.1), drawing
+// operation types from a configurable mix over the canonical multi-object
+// operations (DCAS, m-register assignment, sum, transfer, reads/writes).
+// Latencies are recorded in virtual time, split by query/update.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mscript/program.hpp"
+#include "protocols/replica.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mocc::protocols {
+
+struct WorkloadParams {
+  /// m-operations issued by each process.
+  std::size_t ops_per_process = 50;
+  /// Probability that an issued m-operation is an update.
+  double update_ratio = 0.5;
+  /// Objects touched by a multi-object operation.
+  std::size_t footprint = 2;
+  /// Zipf skew over objects (0 = uniform).
+  double zipf_skew = 0.0;
+  /// Virtual-time think time between response and next invocation.
+  sim::SimTime think_time = 1;
+  /// Operation mix: when an update is drawn, with probability
+  /// `dcas_fraction` issue a DCAS, else an m-register assignment /
+  /// transfer / multi-add (rotating); queries alternate sum and read_all.
+  double dcas_fraction = 0.3;
+};
+
+struct WorkloadReport {
+  util::Summary query_latency;
+  util::Summary update_latency;
+  std::size_t queries = 0;
+  std::size_t updates = 0;
+};
+
+/// Drives `replicas` (one per simulator node) inside `sim` and returns
+/// per-class latency summaries. Replicas must already be registered as
+/// the simulator's actors, in node order.
+WorkloadReport run_workload(sim::Simulator& sim, const std::vector<Replica*>& replicas,
+                            std::size_t num_objects, const WorkloadParams& params,
+                            std::uint64_t seed);
+
+/// Draws one random m-operation program per the params.
+mscript::Program random_program(std::size_t num_objects, const WorkloadParams& params,
+                                util::Rng& rng, util::ZipfGenerator& zipf,
+                                std::uint64_t salt);
+
+}  // namespace mocc::protocols

@@ -1,0 +1,61 @@
+#include "sim/delay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mocc::sim {
+
+ConstantDelay::ConstantDelay(SimTime delay) : delay_(std::max<SimTime>(1, delay)) {}
+
+SimTime ConstantDelay::sample(NodeId, NodeId, util::Rng&) { return delay_; }
+
+std::string ConstantDelay::name() const {
+  std::ostringstream out;
+  out << "constant(" << delay_ << ")";
+  return out.str();
+}
+
+UniformDelay::UniformDelay(SimTime lo, SimTime hi)
+    : lo_(std::max<SimTime>(1, lo)), hi_(std::max(hi, lo_)) {}
+
+SimTime UniformDelay::sample(NodeId, NodeId, util::Rng& rng) {
+  return lo_ + rng.next_below(hi_ - lo_ + 1);
+}
+
+std::string UniformDelay::name() const {
+  std::ostringstream out;
+  out << "uniform(" << lo_ << "," << hi_ << ")";
+  return out.str();
+}
+
+ExponentialDelay::ExponentialDelay(double mean, SimTime cap) : mean_(mean), cap_(cap) {
+  MOCC_ASSERT(mean > 0.0);
+  MOCC_ASSERT(cap >= 1);
+}
+
+SimTime ExponentialDelay::sample(NodeId, NodeId, util::Rng& rng) {
+  const double d = rng.next_exponential(mean_);
+  const auto ticks = static_cast<SimTime>(d) + 1;
+  return std::min(ticks, cap_);
+}
+
+std::string ExponentialDelay::name() const {
+  std::ostringstream out;
+  out << "exponential(mean=" << mean_ << ",cap=" << cap_ << ")";
+  return out.str();
+}
+
+std::unique_ptr<DelayModel> make_delay_model(const std::string& name) {
+  if (name == "constant") return std::make_unique<ConstantDelay>(10);
+  if (name == "lan") return std::make_unique<UniformDelay>(5, 15);
+  if (name == "wan") return std::make_unique<UniformDelay>(50, 150);
+  if (name == "uniform") return std::make_unique<UniformDelay>(5, 50);
+  if (name == "reorder") return std::make_unique<UniformDelay>(1, 500);
+  if (name == "exponential") return std::make_unique<ExponentialDelay>(20.0, 2000);
+  MOCC_ASSERT_MSG(false, "unknown delay model name");
+  return nullptr;
+}
+
+}  // namespace mocc::sim

@@ -1,0 +1,69 @@
+// Network delay models.
+//
+// The paper assumes reliable channels where "messages can get reordered"
+// (§5) and its m-linearizability protocol explicitly avoids any bound on
+// message delay. The delay models below let the experiments sweep from a
+// near-synchronous network to an adversarially reordering one; all
+// sampling is from the simulator's seeded Rng, so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mocc::sim {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay (>= 1 tick) for a message from `from` to `to`.
+  virtual SimTime sample(NodeId from, NodeId to, util::Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed delay: FIFO, synchronous-looking network.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(SimTime delay);
+  SimTime sample(NodeId from, NodeId to, util::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform in [lo, hi]; hi much larger than lo produces heavy reordering.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(SimTime lo, SimTime hi);
+  SimTime sample(NodeId from, NodeId to, util::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Exponential with the given mean, clamped to [1, cap]. Long tail
+/// exercises the asynchronous-safety of the protocols.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(double mean, SimTime cap);
+  SimTime sample(NodeId from, NodeId to, util::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double mean_;
+  SimTime cap_;
+};
+
+/// Named factory used by benches/examples ("constant", "uniform", "lan",
+/// "wan", "reorder", "exponential").
+std::unique_ptr<DelayModel> make_delay_model(const std::string& name);
+
+}  // namespace mocc::sim

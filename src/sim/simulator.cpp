@@ -1,0 +1,122 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mocc::sim {
+
+SimTime Context::now() const { return sim_.now(); }
+
+std::size_t Context::num_nodes() const { return sim_.num_nodes(); }
+
+void Context::send(NodeId to, std::uint32_t kind, std::vector<std::uint8_t> payload) {
+  sim_.send(self_, to, kind, std::move(payload));
+}
+
+void Context::send_to_others(std::uint32_t kind,
+                             const std::vector<std::uint8_t>& payload) {
+  for (NodeId to = 0; to < sim_.num_nodes(); ++to) {
+    if (to != self_) sim_.send(self_, to, kind, payload);
+  }
+}
+
+void Context::set_timer(SimTime delay, std::uint64_t timer_id) {
+  sim_.set_timer(self_, delay, timer_id);
+}
+
+Simulator::Simulator(std::unique_ptr<DelayModel> delay, std::uint64_t seed)
+    : delay_(std::move(delay)), rng_(seed) {
+  MOCC_ASSERT(delay_ != nullptr);
+}
+
+NodeId Simulator::add_node(std::unique_ptr<Actor> actor) {
+  MOCC_ASSERT_MSG(!started_, "nodes must be added before run()");
+  MOCC_ASSERT(actor != nullptr);
+  actors_.push_back(std::move(actor));
+  return static_cast<NodeId>(actors_.size() - 1);
+}
+
+Actor& Simulator::actor(NodeId id) {
+  MOCC_ASSERT(id < actors_.size());
+  return *actors_[id];
+}
+
+void Simulator::schedule_call(SimTime time, std::function<void()> fn) {
+  Event event;
+  event.time = std::max(time, now_);
+  event.seq = next_seq_++;
+  event.call = std::move(fn);
+  queue_.push(std::move(event));
+}
+
+void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
+                     std::vector<std::uint8_t> payload) {
+  MOCC_ASSERT(from < actors_.size() && to < actors_.size());
+  Event event;
+  event.time = now_ + delay_->sample(from, to, rng_);
+  event.seq = next_seq_++;
+  event.message = Message{from, to, kind, std::move(payload)};
+  MOCC_DEBUG() << "t=" << now_ << " send " << from << "->" << to << " kind=" << kind
+               << " bytes=" << event.message.payload.size() << " eta=" << event.time;
+
+  traffic_.messages += 1;
+  traffic_.bytes += event.message.payload.size();
+  traffic_.messages_by_kind[kind] += 1;
+  traffic_.bytes_by_kind[kind] += event.message.payload.size();
+
+  queue_.push(std::move(event));
+}
+
+void Simulator::set_timer(NodeId node, SimTime delay, std::uint64_t timer_id) {
+  Event event;
+  event.time = now_ + std::max<SimTime>(1, delay);
+  event.seq = next_seq_++;
+  event.is_timer = true;
+  event.timer_node = node;
+  event.timer_id = timer_id;
+  queue_.push(std::move(event));
+}
+
+void Simulator::dispatch(const Event& event) {
+  if (event.call) {
+    event.call();
+    return;
+  }
+  if (event.is_timer) {
+    MOCC_DEBUG() << "t=" << now_ << " timer node=" << event.timer_node
+                 << " id=" << event.timer_id;
+    Context ctx(*this, event.timer_node);
+    actors_[event.timer_node]->on_timer(ctx, event.timer_id);
+    return;
+  }
+  MOCC_DEBUG() << "t=" << now_ << " deliver " << event.message.from << "->"
+               << event.message.to << " kind=" << event.message.kind;
+  Context ctx(*this, event.message.to);
+  actors_[event.message.to]->on_message(ctx, event.message);
+}
+
+SimTime Simulator::run(SimTime max_time) {
+  if (!started_) {
+    started_ = true;
+    for (NodeId id = 0; id < actors_.size(); ++id) {
+      Context ctx(*this, id);
+      actors_[id]->on_start(ctx);
+    }
+  }
+  while (!queue_.empty()) {
+    // Check the deadline BEFORE popping so a paused run can resume
+    // without losing the event at the horizon.
+    if (max_time != 0 && queue_.top().time > max_time) {
+      now_ = max_time;
+      return now_;
+    }
+    Event event = queue_.top();
+    queue_.pop();
+    MOCC_ASSERT_MSG(event.time >= now_, "time went backwards");
+    now_ = event.time;
+    dispatch(event);
+  }
+  return now_;
+}
+
+}  // namespace mocc::sim

@@ -1,0 +1,134 @@
+// Deterministic discrete-event simulator for asynchronous message
+// passing.
+//
+// Substitutes the paper's assumed network: reliable (no loss, no
+// duplication), unordered (delays are sampled per message, so messages
+// overtake each other freely), fully asynchronous (no delay bound is ever
+// exposed to protocol code). Virtual time exists only inside the
+// simulator — actors observe it solely for measurement, never for
+// protocol decisions.
+//
+// Actors are event-driven: on_start once at t=0, on_message per delivery,
+// on_timer for self-scheduled wakeups. All execution is single-threaded
+// and deterministic given the seed; ties in delivery time break by event
+// sequence number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::sim {
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  /// Protocol-defined discriminator (also keys the traffic statistics).
+  std::uint32_t kind = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Simulator;
+
+/// The API an actor sees. Deliberately narrow: send, timers, the clock,
+/// and nothing else (no shared memory between actors).
+class Context {
+ public:
+  Context(Simulator& sim, NodeId self) : sim_(sim), self_(self) {}
+
+  NodeId self() const { return self_; }
+  SimTime now() const;
+  std::size_t num_nodes() const;
+
+  void send(NodeId to, std::uint32_t kind, std::vector<std::uint8_t> payload);
+  /// Sends to every node except self.
+  void send_to_others(std::uint32_t kind, const std::vector<std::uint8_t>& payload);
+  /// on_timer(id) fires after `delay` ticks.
+  void set_timer(SimTime delay, std::uint64_t timer_id);
+
+ private:
+  Simulator& sim_;
+  NodeId self_;
+};
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_start(Context& ctx) { (void)ctx; }
+  virtual void on_message(Context& ctx, const Message& message) = 0;
+  virtual void on_timer(Context& ctx, std::uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::map<std::uint32_t, std::uint64_t> messages_by_kind;
+  std::map<std::uint32_t, std::uint64_t> bytes_by_kind;
+};
+
+class Simulator {
+ public:
+  Simulator(std::unique_ptr<DelayModel> delay, std::uint64_t seed);
+
+  /// Nodes must all be added before run(). Takes ownership.
+  NodeId add_node(std::unique_ptr<Actor> actor);
+  std::size_t num_nodes() const { return actors_.size(); }
+
+  Actor& actor(NodeId id);
+
+  /// Schedules an external closure (workload injection) at `time`.
+  void schedule_call(SimTime time, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `max_time` passes (0 = no
+  /// limit). Returns the final virtual time.
+  SimTime run(SimTime max_time = 0);
+
+  SimTime now() const { return now_; }
+  const TrafficStats& traffic() const { return traffic_; }
+  util::Rng& rng() { return rng_; }
+
+  // Internal API used by Context -------------------------------------
+  void send(NodeId from, NodeId to, std::uint32_t kind,
+            std::vector<std::uint8_t> payload);
+  void set_timer(NodeId node, SimTime delay, std::uint64_t timer_id);
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal times
+    // exactly one of:
+    bool is_timer = false;
+    Message message;
+    NodeId timer_node = 0;
+    std::uint64_t timer_id = 0;
+    std::function<void()> call;  // external injection when set
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(const Event& event);
+
+  std::unique_ptr<DelayModel> delay_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool started_ = false;
+  TrafficStats traffic_;
+};
+
+}  // namespace mocc::sim

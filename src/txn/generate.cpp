@@ -1,0 +1,56 @@
+#include "txn/generate.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocc::txn {
+
+namespace {
+std::vector<std::vector<Action>> random_transactions(const ScheduleParams& params,
+                                                     util::Rng& rng) {
+  std::vector<std::vector<Action>> txns(params.num_txns);
+  for (TxnId t = 0; t < params.num_txns; ++t) {
+    const std::size_t count = static_cast<std::size_t>(
+        rng.next_in(static_cast<std::int64_t>(params.min_actions_per_txn),
+                    static_cast<std::int64_t>(params.max_actions_per_txn)));
+    MOCC_ASSERT(count >= 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto e = static_cast<EntityId>(rng.next_below(params.num_entities));
+      txns[t].push_back(Action{t, rng.next_bool(params.write_probability), e});
+    }
+  }
+  return txns;
+}
+}  // namespace
+
+Schedule generate_serial_schedule(const ScheduleParams& params, util::Rng& rng) {
+  Schedule s(params.num_txns, params.num_entities);
+  for (const auto& txn : random_transactions(params, rng)) {
+    for (const Action& a : txn) s.append(a.txn, a.is_write, a.entity);
+  }
+  return s;
+}
+
+Schedule generate_interleaved_schedule(const ScheduleParams& params, util::Rng& rng) {
+  const auto txns = random_transactions(params, rng);
+  Schedule s(params.num_txns, params.num_entities);
+  std::vector<std::size_t> cursor(params.num_txns, 0);
+  std::size_t remaining = 0;
+  for (const auto& txn : txns) remaining += txn.size();
+  while (remaining > 0) {
+    // Pick a transaction with actions left, weighted by remaining count.
+    std::size_t pick = rng.next_below(remaining);
+    for (TxnId t = 0; t < params.num_txns; ++t) {
+      const std::size_t left = txns[t].size() - cursor[t];
+      if (pick < left) {
+        const Action& a = txns[t][cursor[t]++];
+        s.append(a.txn, a.is_write, a.entity);
+        --remaining;
+        break;
+      }
+      pick -= left;
+    }
+  }
+  return s;
+}
+
+}  // namespace mocc::txn

@@ -1,0 +1,27 @@
+// Random schedule generation for the reduction property tests and the
+// NP-scaling benchmark.
+#pragma once
+
+#include "txn/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::txn {
+
+struct ScheduleParams {
+  std::size_t num_txns = 4;
+  std::size_t num_entities = 3;
+  std::size_t min_actions_per_txn = 1;
+  std::size_t max_actions_per_txn = 4;
+  double write_probability = 0.5;
+};
+
+/// Serial schedule (transactions back to back, order = id order).
+/// Serializable by construction.
+Schedule generate_serial_schedule(const ScheduleParams& params, util::Rng& rng);
+
+/// Random interleaving: each transaction's actions keep their internal
+/// order but positions are shuffled across transactions. Mixed
+/// serializable / non-serializable population.
+Schedule generate_interleaved_schedule(const ScheduleParams& params, util::Rng& rng);
+
+}  // namespace mocc::txn

@@ -1,0 +1,94 @@
+#include "txn/reduction.hpp"
+
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace mocc::txn {
+
+ReductionResult reduce_to_history(const Schedule& s) {
+  ReductionResult result{core::History(s.num_txns() + 1, s.num_entities()), false, {},
+                         0};
+  if (!s.reads_are_serially_realizable()) return result;
+
+  const auto& actions = s.actions();
+
+  // Unique value per write action; position -> value.
+  std::map<std::size_t, core::Value> write_value;
+  std::map<EntityId, std::uint64_t> version;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].is_write) {
+      const EntityId e = actions[i].entity;
+      write_value[i] = static_cast<core::Value>(e) * 1'000'000 +
+                       static_cast<core::Value>(++version[e]);
+    }
+  }
+
+  // Value each read observes (position of the latest preceding write).
+  auto observed_value = [&](std::size_t read_pos) -> core::Value {
+    for (std::size_t j = read_pos; j > 0; --j) {
+      if (actions[j - 1].is_write && actions[j - 1].entity == actions[read_pos].entity) {
+        return write_value.at(j - 1);
+      }
+    }
+    return 0;  // initial value
+  };
+
+  // One m-operation per original transaction; m-op id == txn id because
+  // transactions are added in id order (History assigns ids sequentially).
+  result.txn_to_mop.resize(s.num_txns());
+  for (TxnId t = 0; t < s.num_txns(); ++t) {
+    const auto first = s.first_action(t);
+    const auto last = s.last_action(t);
+    MOCC_ASSERT_MSG(first.has_value(), "reduction requires non-empty transactions");
+    std::vector<core::Operation> ops;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Action& action = actions[i];
+      if (action.txn != t) continue;
+      if (action.is_write) {
+        ops.push_back(core::Operation::write(action.entity, write_value.at(i)));
+      } else {
+        const TxnId from = s.reads_from(i);
+        const core::MOpId writer =
+            from == kInitialTxn ? core::kInitialMOp : static_cast<core::MOpId>(from);
+        ops.push_back(core::Operation::read(action.entity, observed_value(i), writer));
+      }
+    }
+    const auto id = result.history.add(core::MOperation(
+        /*process=*/t, std::move(ops), /*invoke=*/static_cast<core::Time>(*first + 1),
+        /*response=*/static_cast<core::Time>(*last + 1), "txn"));
+    result.txn_to_mop[t] = id;
+  }
+
+  // T-infinity: a query reading every entity's final value, invoked after
+  // every response (real-time-after everything, as the augmentation
+  // demands).
+  {
+    std::vector<core::Operation> ops;
+    for (EntityId e = 0; e < s.num_entities(); ++e) {
+      const TxnId from = s.final_writer(e);
+      const core::MOpId writer =
+          from == kInitialTxn ? core::kInitialMOp : static_cast<core::MOpId>(from);
+      core::Value value = 0;
+      if (from != kInitialTxn) {
+        // Value of the final write to e.
+        for (std::size_t i = actions.size(); i > 0; --i) {
+          if (actions[i - 1].is_write && actions[i - 1].entity == e) {
+            value = write_value.at(i - 1);
+            break;
+          }
+        }
+      }
+      ops.push_back(core::Operation::read(e, value, writer));
+    }
+    const auto t_inf_time = static_cast<core::Time>(actions.size() + 2);
+    result.t_inf_mop = result.history.add(
+        core::MOperation(/*process=*/static_cast<core::ProcessId>(s.num_txns()),
+                         std::move(ops), t_inf_time, t_inf_time + 1, "t_inf"));
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace mocc::txn

@@ -1,0 +1,47 @@
+// The Theorem-2 reduction: database schedules to histories.
+//
+// Construction (§3, proof of Theorem 2): given a schedule S over
+// transactions T1..Tn, augment it with T0 (initial writes) and T-infinity
+// (final reads); build a distributed system with one process per
+// transaction of the *original* schedule, each executing a single
+// m-operation whose operations are the transaction's actions in order.
+// Invocation/response events are the schedule positions of the first/last
+// action, so two transactions are non-overlapping in S iff the
+// corresponding m-operations are non-overlapping in H. The history's base
+// order is reads-from ∪ real-time (process order is vacuous — one
+// m-operation per process), i.e. exactly the m-linearizability base.
+//
+// Theorem 2: S is strict view serializable  ⟺  H is m-linearizable.
+// The same construction with real-time dropped (m-sequential consistency)
+// decides plain view serializability.
+//
+// Implementation note on the augmentation: T0's writes are the history's
+// implicit initializing m-operation (reads that observe T0 map to
+// kInitialMOp), and T-infinity's final reads are encoded as an extra
+// query m-operation on its own process whose invocation follows every
+// response. This keeps H exactly as large as the augmented schedule
+// requires while reusing the model's built-in initial write.
+#pragma once
+
+#include "core/history.hpp"
+#include "txn/schedule.hpp"
+
+namespace mocc::txn {
+
+struct ReductionResult {
+  /// Meaningful only when feasible.
+  core::History history;
+  /// False when the schedule contains a read no serial execution can
+  /// realize (Schedule::reads_are_serially_realizable fails); such
+  /// schedules are trivially not view serializable and have no faithful
+  /// m-operation image.
+  bool feasible = false;
+  /// history m-op id of each original transaction (index = TxnId).
+  std::vector<core::MOpId> txn_to_mop;
+  /// m-op id of the T-infinity reader.
+  core::MOpId t_inf_mop = 0;
+};
+
+ReductionResult reduce_to_history(const Schedule& s);
+
+}  // namespace mocc::txn

@@ -1,0 +1,143 @@
+#include "txn/schedule.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mocc::txn {
+
+Schedule::Schedule(std::size_t num_txns, std::size_t num_entities)
+    : num_txns_(num_txns), num_entities_(num_entities) {}
+
+void Schedule::append(TxnId txn, bool is_write, EntityId entity) {
+  MOCC_ASSERT(txn < num_txns_);
+  MOCC_ASSERT(entity < num_entities_);
+  actions_.push_back(Action{txn, is_write, entity});
+}
+
+std::optional<std::size_t> Schedule::first_action(TxnId txn) const {
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].txn == txn) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Schedule::last_action(TxnId txn) const {
+  for (std::size_t i = actions_.size(); i > 0; --i) {
+    if (actions_[i - 1].txn == txn) return i - 1;
+  }
+  return std::nullopt;
+}
+
+TxnId Schedule::reads_from(std::size_t position) const {
+  MOCC_ASSERT(position < actions_.size());
+  const Action& read = actions_[position];
+  MOCC_ASSERT(!read.is_write);
+  for (std::size_t i = position; i > 0; --i) {
+    const Action& prior = actions_[i - 1];
+    if (prior.is_write && prior.entity == read.entity) return prior.txn;
+  }
+  return kInitialTxn;
+}
+
+std::vector<Schedule::ExternalRead> Schedule::external_reads(TxnId txn) const {
+  std::vector<ExternalRead> out;
+  std::set<EntityId> own_written;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& action = actions_[i];
+    if (action.txn != txn) continue;
+    if (action.is_write) {
+      own_written.insert(action.entity);
+    } else if (own_written.count(action.entity) == 0) {
+      out.push_back(ExternalRead{action.entity, reads_from(i)});
+    }
+  }
+  return out;
+}
+
+std::vector<EntityId> Schedule::write_set(TxnId txn) const {
+  std::set<EntityId> entities;
+  for (const Action& action : actions_) {
+    if (action.txn == txn && action.is_write) entities.insert(action.entity);
+  }
+  return {entities.begin(), entities.end()};
+}
+
+TxnId Schedule::final_writer(EntityId entity) const {
+  for (std::size_t i = actions_.size(); i > 0; --i) {
+    const Action& action = actions_[i - 1];
+    if (action.is_write && action.entity == entity) return action.txn;
+  }
+  return kInitialTxn;
+}
+
+bool Schedule::non_overlapping_before(TxnId a, TxnId b) const {
+  const auto last_a = last_action(a);
+  const auto first_b = first_action(b);
+  MOCC_ASSERT(last_a.has_value() && first_b.has_value());
+  return *last_a < *first_b;
+}
+
+bool Schedule::reads_are_serially_realizable() const {
+  // Last write position per (txn, entity), for the "final write" test.
+  std::map<std::pair<TxnId, EntityId>, std::size_t> last_write_of;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].is_write) last_write_of[{actions_[i].txn, actions_[i].entity}] = i;
+  }
+  // Whether the reader wrote the entity before this position.
+  std::map<std::pair<TxnId, EntityId>, bool> wrote_before;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& action = actions_[i];
+    if (action.is_write) {
+      wrote_before[{action.txn, action.entity}] = true;
+      continue;
+    }
+    const TxnId from = reads_from(i);
+    const bool own_written = wrote_before.count({action.txn, action.entity}) > 0;
+    if (own_written) {
+      // Must see its own most recent write.
+      if (from != action.txn) return false;
+    } else if (from != kInitialTxn) {
+      // Must see the writer's final write to the entity.
+      // Find the write action actually observed.
+      std::size_t observed = 0;
+      for (std::size_t j = i; j > 0; --j) {
+        if (actions_[j - 1].is_write && actions_[j - 1].entity == action.entity) {
+          observed = j - 1;
+          break;
+        }
+      }
+      if (last_write_of[{from, action.entity}] != observed) return false;
+    }
+  }
+  return true;
+}
+
+Schedule::Augmented Schedule::augment() const {
+  Augmented out{Schedule(num_txns_ + 2, num_entities_), static_cast<TxnId>(num_txns_),
+                static_cast<TxnId>(num_txns_ + 1)};
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out.schedule.append(out.t0, /*is_write=*/true, e);
+  }
+  for (const Action& action : actions_) {
+    out.schedule.append(action.txn, action.is_write, action.entity);
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out.schedule.append(out.t_inf, /*is_write=*/false, e);
+  }
+  return out;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& action = actions_[i];
+    if (i > 0) out << " ";
+    out << (action.is_write ? "w" : "r") << action.txn << "(e" << action.entity << ")";
+  }
+  return out.str();
+}
+
+}  // namespace mocc::txn

@@ -1,0 +1,96 @@
+// Database schedules (§3).
+//
+// The paper's NP-completeness argument (Theorem 2) reduces strict view
+// serializability of database schedules to m-linearizability. This module
+// is the database side of that bridge: transactions as totally-ordered
+// sequences of read/write actions on entities, interleaved into a
+// schedule.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mocc::txn {
+
+using TxnId = std::uint32_t;
+using EntityId = std::uint32_t;
+
+/// Sentinel writer for reads satisfied by the initial database state.
+inline constexpr TxnId kInitialTxn = std::numeric_limits<TxnId>::max();
+
+struct Action {
+  TxnId txn = 0;
+  bool is_write = false;
+  EntityId entity = 0;
+};
+
+class Schedule {
+ public:
+  Schedule(std::size_t num_txns, std::size_t num_entities);
+
+  /// Appends the next action in schedule order.
+  void append(TxnId txn, bool is_write, EntityId entity);
+
+  std::size_t num_txns() const { return num_txns_; }
+  std::size_t num_entities() const { return num_entities_; }
+  const std::vector<Action>& actions() const { return actions_; }
+
+  /// Position of the first/last action of a transaction in the schedule;
+  /// nullopt for transactions with no actions.
+  std::optional<std::size_t> first_action(TxnId txn) const;
+  std::optional<std::size_t> last_action(TxnId txn) const;
+
+  /// The transaction whose write the read at `position` observes: the
+  /// latest preceding write to the same entity (kInitialTxn if none).
+  /// Intra-transaction reads resolve to the own transaction.
+  TxnId reads_from(std::size_t position) const;
+
+  /// Entities transaction `txn` reads externally (before writing them
+  /// itself), paired with the transaction each read observes.
+  struct ExternalRead {
+    EntityId entity;
+    TxnId from;
+  };
+  std::vector<ExternalRead> external_reads(TxnId txn) const;
+
+  /// Entities `txn` writes, and whether its write is the last write to
+  /// that entity in the whole schedule (the "final write").
+  std::vector<EntityId> write_set(TxnId txn) const;
+  TxnId final_writer(EntityId entity) const;
+
+  /// Ti strictly-before Tj: Ti's last action precedes Tj's first action.
+  /// Both transactions must be non-empty.
+  bool non_overlapping_before(TxnId a, TxnId b) const;
+
+  /// Necessary condition for view serializability, assumed by the
+  /// transaction-granularity searches: every read observes either (a) its
+  /// own transaction's most recent write to the entity (if the reader
+  /// already wrote it), or (b) the *final* write to the entity of some
+  /// other transaction. A serial execution can realize no other pattern,
+  /// so a schedule failing this is trivially not view serializable.
+  bool reads_are_serially_realizable() const;
+
+  /// The paper's augmentation (footnote 3): T0 writes every entity before
+  /// everything, T-infinity reads every entity after everything. Returns
+  /// the augmented schedule plus the ids assigned to T0 and T-infinity.
+  struct Augmented;
+  Augmented augment() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t num_txns_;
+  std::size_t num_entities_;
+  std::vector<Action> actions_;
+};
+
+struct Schedule::Augmented {
+  Schedule schedule;
+  TxnId t0;
+  TxnId t_inf;
+};
+
+}  // namespace mocc::txn

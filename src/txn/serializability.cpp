@@ -1,0 +1,223 @@
+#include "txn/serializability.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/relation.hpp"
+
+namespace mocc::txn {
+
+namespace {
+
+/// Backtracking search for a serial order of the *augmented* schedule
+/// that is view-equivalent to it, optionally constrained by a precedence
+/// relation (used for strictness). Mirrors the core admissibility search
+/// at transaction granularity.
+class SerialSearch {
+ public:
+  SerialSearch(const Schedule& augmented, TxnId t0, TxnId t_inf,
+               const util::BitRelation& precedence)
+      : s_(augmented), t0_(t0), t_inf_(t_inf), n_(augmented.num_txns()) {
+    reads_.resize(n_);
+    writes_.resize(n_);
+    for (TxnId t = 0; t < n_; ++t) {
+      for (const auto& er : s_.external_reads(t)) {
+        reads_[t].emplace_back(er.entity, er.from);
+      }
+      writes_[t] = s_.write_set(t);
+    }
+    pred_count_.assign(n_, 0);
+    succs_.resize(n_);
+    const util::BitRelation closed = precedence.transitive_closure();
+    closed_ok_ = closed.closed_is_irreflexive();
+    for (TxnId i = 0; i < n_; ++i) {
+      for (TxnId j = 0; j < n_; ++j) {
+        if (i != j && closed.has(i, j)) {
+          ++pred_count_[j];
+          succs_[i].push_back(j);
+        }
+      }
+    }
+    last_writer_.assign(s_.num_entities(), kInitialTxn);
+    placed_.assign(n_, false);
+  }
+
+  SerializabilityResult run() {
+    SerializabilityResult result;
+    if (!closed_ok_) {
+      result.states_visited = 1;
+      return result;
+    }
+    order_.reserve(n_);
+    result.serializable = extend(result);
+    if (result.serializable) {
+      // Strip the augmentation transactions from the witness.
+      std::vector<TxnId> witness;
+      for (const TxnId t : order_) {
+        if (t != t0_ && t != t_inf_) witness.push_back(t);
+      }
+      result.witness = std::move(witness);
+    }
+    return result;
+  }
+
+ private:
+  bool can_place(TxnId t) const {
+    if (placed_[t] || pred_count_[t] != 0) return false;
+    for (const auto& [entity, from] : reads_[t]) {
+      if (last_writer_[entity] != from) return false;
+    }
+    return true;
+  }
+
+  std::string state_key() const {
+    std::string key;
+    key.reserve((n_ + 7) / 8 + last_writer_.size() * sizeof(TxnId));
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      acc = static_cast<std::uint8_t>(acc | (placed_[i] ? 1U << (i % 8) : 0U));
+      if (i % 8 == 7) {
+        key.push_back(static_cast<char>(acc));
+        acc = 0;
+      }
+    }
+    if (n_ % 8 != 0) key.push_back(static_cast<char>(acc));
+    const char* raw = reinterpret_cast<const char*>(last_writer_.data());
+    key.append(raw, last_writer_.size() * sizeof(TxnId));
+    return key;
+  }
+
+  bool extend(SerializabilityResult& result) {
+    ++result.states_visited;
+    if (order_.size() == n_) return true;
+    std::string key = state_key();
+    if (failed_.count(key) > 0) return false;
+
+    for (TxnId t = 0; t < n_; ++t) {
+      if (!can_place(t)) continue;
+      placed_[t] = true;
+      order_.push_back(t);
+      std::vector<std::pair<EntityId, TxnId>> saved;
+      for (const EntityId e : writes_[t]) {
+        saved.emplace_back(e, last_writer_[e]);
+        last_writer_[e] = t;
+      }
+      for (const TxnId s : succs_[t]) --pred_count_[s];
+
+      if (extend(result)) return true;
+
+      for (const TxnId s : succs_[t]) ++pred_count_[s];
+      for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        last_writer_[it->first] = it->second;
+      }
+      order_.pop_back();
+      placed_[t] = false;
+    }
+    failed_.insert(std::move(key));
+    return false;
+  }
+
+  const Schedule& s_;
+  TxnId t0_;
+  TxnId t_inf_;
+  std::size_t n_;
+  bool closed_ok_ = true;
+
+  std::vector<std::vector<std::pair<EntityId, TxnId>>> reads_;
+  std::vector<std::vector<EntityId>> writes_;
+  std::vector<std::size_t> pred_count_;
+  std::vector<std::vector<TxnId>> succs_;
+  std::vector<TxnId> last_writer_;
+  std::vector<bool> placed_;
+  std::vector<TxnId> order_;
+  std::unordered_set<std::string> failed_;
+};
+
+void assert_no_empty_txn(const Schedule& s) {
+  for (TxnId t = 0; t < s.num_txns(); ++t) {
+    MOCC_ASSERT_MSG(s.first_action(t).has_value(),
+                    "serializability checkers require non-empty transactions");
+  }
+}
+
+}  // namespace
+
+SerializabilityResult view_serializable(const Schedule& s) {
+  assert_no_empty_txn(s);
+  if (!s.reads_are_serially_realizable()) {
+    SerializabilityResult result;
+    result.states_visited = 1;
+    return result;
+  }
+  const auto aug = s.augment();
+  // Only ordering constraints: T0 first, T-infinity last.
+  util::BitRelation precedence(aug.schedule.num_txns());
+  for (TxnId t = 0; t < aug.schedule.num_txns(); ++t) {
+    if (t != aug.t0) precedence.add(aug.t0, t);
+    if (t != aug.t_inf) precedence.add(t, aug.t_inf);
+  }
+  return SerialSearch(aug.schedule, aug.t0, aug.t_inf, precedence).run();
+}
+
+SerializabilityResult strict_view_serializable(const Schedule& s) {
+  assert_no_empty_txn(s);
+  if (!s.reads_are_serially_realizable()) {
+    SerializabilityResult result;
+    result.states_visited = 1;
+    return result;
+  }
+  const auto aug = s.augment();
+  // Non-overlapping transactions of the augmented schedule must keep
+  // their schedule order (this subsumes T0-first / T-infinity-last).
+  util::BitRelation precedence(aug.schedule.num_txns());
+  for (TxnId a = 0; a < aug.schedule.num_txns(); ++a) {
+    for (TxnId b = 0; b < aug.schedule.num_txns(); ++b) {
+      if (a != b && aug.schedule.non_overlapping_before(a, b)) precedence.add(a, b);
+    }
+  }
+  return SerialSearch(aug.schedule, aug.t0, aug.t_inf, precedence).run();
+}
+
+bool conflict_serializable(const Schedule& s) {
+  assert_no_empty_txn(s);
+  // Precedence graph: edge Ti -> Tj when an action of Ti conflicts with a
+  // later action of Tj (same entity, at least one write, different txns).
+  util::BitRelation graph(s.num_txns());
+  const auto& actions = s.actions();
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    for (std::size_t j = i + 1; j < actions.size(); ++j) {
+      const Action& x = actions[i];
+      const Action& y = actions[j];
+      if (x.txn == y.txn || x.entity != y.entity) continue;
+      if (x.is_write || y.is_write) graph.add(x.txn, y.txn);
+    }
+  }
+  return graph.is_acyclic();
+}
+
+bool is_view_equivalent_serial_order(const Schedule& s, const std::vector<TxnId>& order) {
+  if (order.size() != s.num_txns()) return false;
+  if (!s.reads_are_serially_realizable()) return false;
+  const auto aug = s.augment();
+  std::vector<TxnId> full;
+  full.push_back(aug.t0);
+  full.insert(full.end(), order.begin(), order.end());
+  full.push_back(aug.t_inf);
+
+  std::vector<TxnId> last_writer(s.num_entities(), kInitialTxn);
+  std::vector<bool> placed(aug.schedule.num_txns(), false);
+  for (const TxnId t : full) {
+    if (t >= aug.schedule.num_txns() || placed[t]) return false;
+    for (const auto& er : aug.schedule.external_reads(t)) {
+      if (last_writer[er.entity] != er.from) return false;
+    }
+    for (const EntityId e : aug.schedule.write_set(t)) last_writer[e] = t;
+    placed[t] = true;
+  }
+  return true;
+}
+
+}  // namespace mocc::txn

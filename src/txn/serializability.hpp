@@ -1,0 +1,48 @@
+// Serializability checkers for database schedules (§3).
+//
+// Implemented independently of the core history machinery so that the
+// Theorem-2 reduction can be validated by agreement between two separate
+// decision procedures:
+//
+//   - view serializability          (NP-complete; backtracking search)
+//   - strict view serializability   (NP-complete; + order of
+//                                    non-overlapping transactions fixed)
+//   - conflict serializability      (polynomial; precedence-graph cycle
+//                                    test) — strictly stronger than view
+//                                    serializability, provided for
+//                                    comparison benches.
+//
+// View equivalence is checked against the augmented schedule (footnote 3),
+// which folds final-write equality into the reads-from relation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "txn/schedule.hpp"
+
+namespace mocc::txn {
+
+struct SerializabilityResult {
+  bool serializable = false;
+  /// Serial order of the original (unaugmented) transaction ids, when
+  /// serializable.
+  std::optional<std::vector<TxnId>> witness;
+  std::uint64_t states_visited = 0;
+};
+
+/// Is the schedule view-equivalent to some serial schedule?
+SerializabilityResult view_serializable(const Schedule& s);
+
+/// Footnote 2: view serializable by a serial order that preserves the
+/// schedule order of transactions that do not overlap in s.
+SerializabilityResult strict_view_serializable(const Schedule& s);
+
+/// Precedence-graph (conflict) serializability; polynomial.
+bool conflict_serializable(const Schedule& s);
+
+/// Checks that `order` is a serial order view-equivalent to `s`
+/// (replay of the augmented reads-from). Used to validate witnesses.
+bool is_view_equivalent_serial_order(const Schedule& s, const std::vector<TxnId>& order);
+
+}  // namespace mocc::txn

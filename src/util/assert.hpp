@@ -1,0 +1,37 @@
+// Internal invariant checking.
+//
+// MOCC_ASSERT is always on (protocol and checker invariants are cheap
+// relative to the work they guard, and a violated invariant means a wrong
+// answer, not a slow one). MOCC_DEBUG_ASSERT compiles away in release
+// builds and is reserved for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mocc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "mocc: invariant violated: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mocc
+
+#define MOCC_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::mocc::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MOCC_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::mocc::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MOCC_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define MOCC_DEBUG_ASSERT(expr) MOCC_ASSERT(expr)
+#endif

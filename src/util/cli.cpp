@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mocc::util {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  touched_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "%s: flag --%s expects an integer, got '%s'\n",
+                 program_.c_str(), name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "%s: flag --%s expects a number, got '%s'\n",
+                 program_.c_str(), name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (touched_.find(name) == touched_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mocc::util

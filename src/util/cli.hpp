@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the examples and bench drivers.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error (typos in sweep scripts should fail loudly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mocc::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; prints a message and exits(2) on malformed input.
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program_name() const { return program_; }
+
+  /// Flags that were provided but never read by any get_*/has call.
+  /// Call at the end of main to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mocc::util

@@ -1,0 +1,56 @@
+// Leveled logging to stderr.
+//
+// Off by default below `warn`; simulator traces use `debug` and are enabled
+// per-run (MOCC_LOG=debug or Logger::set_level). Logging is process-global
+// and intentionally unsynchronized beyond a mutex around the final write —
+// the simulator is single-threaded and bench binaries log only summaries.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mocc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Reads MOCC_LOG from the environment ("debug", "info", "warn", "error",
+  /// "off"); keeps the current level if unset/unknown.
+  static void init_from_env();
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mocc::util
+
+#define MOCC_LOG(level_enum)                                             \
+  if (::mocc::util::Logger::level() <= ::mocc::util::LogLevel::level_enum) \
+  ::mocc::util::detail::LogLine(::mocc::util::LogLevel::level_enum)
+
+#define MOCC_DEBUG() MOCC_LOG(kDebug)
+#define MOCC_INFO() MOCC_LOG(kInfo)
+#define MOCC_WARN() MOCC_LOG(kWarn)
+#define MOCC_ERROR() MOCC_LOG(kError)

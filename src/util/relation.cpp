@@ -1,0 +1,118 @@
+#include "util/relation.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace mocc::util {
+
+BitRelation::BitRelation(std::size_t n) : n_(n), bits_(n * ((n + 63) / 64), 0) {}
+
+void BitRelation::add(std::size_t from, std::size_t to) {
+  MOCC_ASSERT(from < n_ && to < n_);
+  row(from)[to / 64] |= (std::uint64_t{1} << (to % 64));
+}
+
+bool BitRelation::has(std::size_t from, std::size_t to) const {
+  MOCC_ASSERT(from < n_ && to < n_);
+  return (row(from)[to / 64] >> (to % 64)) & 1U;
+}
+
+void BitRelation::merge(const BitRelation& other) {
+  MOCC_ASSERT(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+std::size_t BitRelation::pair_count() const {
+  std::size_t count = 0;
+  for (auto word : bits_) count += static_cast<std::size_t>(std::popcount(word));
+  return count;
+}
+
+BitRelation BitRelation::transitive_closure() const {
+  BitRelation closure = *this;
+  const std::size_t words = words_per_row();
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::uint64_t* krow = closure.row(k);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (closure.has(i, k)) {
+        std::uint64_t* irow = closure.row(i);
+        for (std::size_t w = 0; w < words; ++w) irow[w] |= krow[w];
+      }
+    }
+  }
+  return closure;
+}
+
+bool BitRelation::closed_is_irreflexive() const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (has(i, i)) return false;
+  }
+  return true;
+}
+
+bool BitRelation::is_acyclic() const {
+  return transitive_closure().closed_is_irreflexive();
+}
+
+bool BitRelation::closed_is_total_order() const {
+  if (!closed_is_irreflexive()) return false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (!has(i, j) && !has(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> BitRelation::topological_order() const {
+  std::vector<std::size_t> indeg = in_degrees();
+  std::vector<std::size_t> order;
+  order.reserve(n_);
+  // Kahn's algorithm with smallest-index-first tie-breaking for determinism.
+  std::vector<bool> placed(n_, false);
+  for (std::size_t step = 0; step < n_; ++step) {
+    std::size_t pick = n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!placed[i] && indeg[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == n_) return std::nullopt;  // cycle
+    placed[pick] = true;
+    order.push_back(pick);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!placed[j] && has(pick, j)) --indeg[j];
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> BitRelation::successors(std::size_t from) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (has(from, j)) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitRelation::predecessors(std::size_t to) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (has(i, to)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitRelation::in_degrees() const {
+  std::vector<std::size_t> indeg(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (has(i, j)) ++indeg[j];
+    }
+  }
+  return indeg;
+}
+
+}  // namespace mocc::util

@@ -1,0 +1,68 @@
+// Dense binary relations over a fixed universe {0, ..., n-1}.
+//
+// The history checkers manipulate order relations over m-operations:
+// union, transitive closure, acyclicity, topological linearization. A
+// bit-matrix representation keeps the closure at O(n^3 / 64) and every
+// membership query at O(1), which is what lets the Theorem-7 polynomial
+// checker stay fast on protocol-generated histories with thousands of
+// m-operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mocc::util {
+
+class BitRelation {
+ public:
+  BitRelation() = default;
+  explicit BitRelation(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  void add(std::size_t from, std::size_t to);
+  bool has(std::size_t from, std::size_t to) const;
+
+  /// Union in-place with another relation over the same universe.
+  void merge(const BitRelation& other);
+
+  /// Number of ordered pairs present.
+  std::size_t pair_count() const;
+
+  /// Warshall's algorithm on bit rows; O(n^2 * n/64).
+  BitRelation transitive_closure() const;
+
+  /// True iff the transitive closure is irreflexive (no cycle through any
+  /// element). `closed` may be passed to skip recomputing the closure.
+  bool is_acyclic() const;
+  bool closed_is_irreflexive() const;
+
+  /// True iff the relation is a total (strict) order when transitively
+  /// closed: acyclic and every distinct pair ordered.
+  bool closed_is_total_order() const;
+
+  /// Some topological order (ascending under the relation), or nullopt if
+  /// cyclic. Ties are broken by smallest index, so the result is
+  /// deterministic.
+  std::optional<std::vector<std::size_t>> topological_order() const;
+
+  /// Successors of `from` as indices (ascending).
+  std::vector<std::size_t> successors(std::size_t from) const;
+  /// Predecessors of `to` as indices (ascending).
+  std::vector<std::size_t> predecessors(std::size_t to) const;
+
+  /// In-degree of every element (number of predecessors).
+  std::vector<std::size_t> in_degrees() const;
+
+ private:
+  std::size_t words_per_row() const { return (n_ + 63) / 64; }
+  const std::uint64_t* row(std::size_t i) const { return bits_.data() + i * words_per_row(); }
+  std::uint64_t* row(std::size_t i) { return bits_.data() + i * words_per_row(); }
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace mocc::util

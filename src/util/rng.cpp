@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mocc::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 guarantees a non-degenerate (not all-zero) state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MOCC_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  MOCC_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the whole 64-bit range.
+  const std::uint64_t draw = (span == 0) ? next_u64() : next_below(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double probability_true) {
+  return next_double() < probability_true;
+}
+
+double Rng::next_exponential(double mean) {
+  MOCC_ASSERT(mean > 0.0);
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  MOCC_ASSERT(n >= 1);
+  MOCC_ASSERT(exponent >= 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -exponent));
+}
+
+double ZipfGenerator::h(double x) const {
+  if (exponent_ == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - exponent_) / (1.0 - exponent_);
+}
+
+double ZipfGenerator::h_inverse(double x) const {
+  if (exponent_ == 1.0) return std::exp(x);
+  return std::pow((1.0 - exponent_) * x, 1.0 / (1.0 - exponent_));
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  if (n_ == 1) return 0;
+  if (exponent_ == 0.0) return rng.next_below(n_);
+  for (;;) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -exponent_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace mocc::util

@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// Every randomized component in mocc (workload generators, delay models,
+// property tests) draws from an explicitly seeded Rng so that any run —
+// including a failing property-test case — is reproducible from its seed.
+// The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mocc::util {
+
+/// splitmix64 step; used for seeding and cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Not cryptographic; fast and statistically strong
+/// enough for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double probability_true);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Split off an independent generator (for per-process streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed integers in [0, n). Uses the rejection-inversion
+/// method of Hörmann & Derflinger so that setup is O(1) and sampling is
+/// O(1) expected, independent of n.
+class ZipfGenerator {
+ public:
+  /// `exponent` is the skew parameter s (s = 0 degenerates to uniform).
+  ZipfGenerator(std::uint64_t n, double exponent);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double h(double x) const;
+  double h_inverse(double x) const;
+
+  std::uint64_t n_;
+  double exponent_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// Fisher-Yates shuffle of an index vector.
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace mocc::util

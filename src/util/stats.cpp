@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mocc::util {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
+double Summary::sum() const {
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total;
+}
+
+double Summary::mean() const {
+  MOCC_ASSERT(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  MOCC_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  MOCC_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::percentile(double p) const {
+  MOCC_ASSERT(!samples_.empty());
+  MOCC_ASSERT(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Summary::brief() const {
+  std::ostringstream out;
+  if (empty()) {
+    out << "n=0";
+    return out.str();
+  }
+  out << "n=" << count() << " mean=" << mean() << " p50=" << median()
+      << " p99=" << percentile(99.0) << " max=" << max();
+  return out.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  MOCC_ASSERT(hi > lo);
+  MOCC_ASSERT(buckets > 0);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+  } else if (sample >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((sample - lo_) / bucket_width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) out << "underflow " << underflow_ << "\n";
+  if (overflow_ > 0) out << "overflow " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace mocc::util

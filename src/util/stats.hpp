@@ -1,0 +1,71 @@
+// Lightweight descriptive statistics for benchmark and simulation output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mocc::util {
+
+/// Accumulates samples and answers summary queries. Stores all samples so
+/// that exact percentiles can be reported (benchmark runs are small enough
+/// that this is the right trade-off).
+class Summary {
+ public:
+  void add(double sample);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// "n=.. mean=.. p50=.. p99=.. max=.." one-liner for logs.
+  std::string brief() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering, widest bucket normalized to `width` chars.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mocc::util

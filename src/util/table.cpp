@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mocc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MOCC_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace mocc::util

@@ -1,0 +1,58 @@
+#include "util/timestamp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mocc::util {
+
+void VersionVector::increment(std::size_t x) {
+  MOCC_ASSERT(x < v_.size());
+  ++v_[x];
+}
+
+bool VersionVector::pointwise_leq(const VersionVector& other) const {
+  MOCC_ASSERT(v_.size() == other.v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) return false;
+  }
+  return true;
+}
+
+bool VersionVector::pointwise_less(const VersionVector& other) const {
+  return pointwise_leq(other) && !(*this == other);
+}
+
+bool VersionVector::comparable(const VersionVector& other) const {
+  return pointwise_leq(other) || other.pointwise_leq(*this);
+}
+
+int VersionVector::lex_compare(const VersionVector& other) const {
+  MOCC_ASSERT(v_.size() == other.v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < other.v_[i]) return -1;
+    if (v_[i] > other.v_[i]) return 1;
+  }
+  return 0;
+}
+
+void VersionVector::merge_max(const VersionVector& other) {
+  MOCC_ASSERT(v_.size() == other.v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+std::string VersionVector::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << v_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace mocc::util

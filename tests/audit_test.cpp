@@ -1,0 +1,206 @@
+// Mutation tests for the P5.1–P5.8 protocol audit: a trustworthy oracle
+// must not only pass on correct runs (covered by the protocol tests) but
+// FAIL on each class of corruption Theorem 10's properties rule out.
+// Each test takes a genuine recorded execution, corrupts one aspect of
+// the trace or history, and asserts the audit names the right property.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/system.hpp"
+#include "core/audit.hpp"
+#include "mscript/library.hpp"
+
+namespace mocc::core {
+namespace {
+
+/// A small genuine m-lin execution plus its trace.
+struct Recorded {
+  History history;
+  ProtocolTrace trace;
+};
+
+Recorded record() {
+  api::SystemConfig config;
+  config.num_processes = 3;
+  config.num_objects = 2;
+  config.protocol = "mlin";
+  config.seed = 123;
+  api::System system(config);
+  system.submit(0, 1, mscript::lib::make_write(0, 5));
+  system.submit(1, 2, mscript::lib::make_write(1, 6));
+  system.submit(2, 30'000, mscript::lib::make_sum(std::vector<mscript::ObjectId>{0, 1}));
+  system.submit(0, 30'001, mscript::lib::make_fetch_add(0, 1));
+  system.run();
+  const auto h = system.history();
+  return Recorded{h, system.recorder().build_trace(h, /*include_process_order=*/false)};
+}
+
+bool audit_mentions(const AuditReport& report, const std::string& needle) {
+  for (const auto& violation : report.violations) {
+    if (violation.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(AuditMutation, CleanTracePasses) {
+  const Recorded r = record();
+  EXPECT_TRUE(audit_protocol_execution(r.history, r.trace).ok);
+}
+
+TEST(AuditMutation, P52CatchesMissingWwEdge) {
+  Recorded r = record();
+  // Drop the ~ww ordering between the two updates by rebuilding the sync
+  // order without it: rebuild from rf + rt only.
+  ProtocolTrace trace = r.trace;
+  trace.sync_order = reads_from_order(r.history);
+  trace.sync_order.merge(real_time_order(r.history));
+  // Make the two writes real-time concurrent so neither rt nor rf orders
+  // them: rebuild the history with overlapping intervals.
+  History h(3, 2);
+  h.add(MOperation(0, {Operation::write(0, 5)}, 1, 100, "w0"));
+  h.add(MOperation(1, {Operation::write(1, 6)}, 2, 99, "w1"));
+  h.add(MOperation(2,
+                   {Operation::read(0, 5, 0), Operation::read(1, 6, 1)},
+                   200, 210, "sum"));
+  h.add(MOperation(0,
+                   {Operation::read(0, 5, 0), Operation::write(0, 6)},
+                   220, 230, "fa"));
+  ProtocolTrace t2;
+  t2.sync_order = reads_from_order(h);
+  t2.sync_order.merge(real_time_order(h));
+  t2.timestamps = {util::VersionVector::from_entries({1, 0}),
+                   util::VersionVector::from_entries({0, 1}),
+                   util::VersionVector::from_entries({1, 1}),
+                   util::VersionVector::from_entries({2, 1})};
+  t2.is_update = {true, true, false, true};
+  const auto report = audit_protocol_execution(h, t2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(audit_mentions(report, "P5.2")) << report.to_string();
+}
+
+TEST(AuditMutation, P53CatchesNonMonotonicTimestamps) {
+  Recorded r = record();
+  // Swap two timestamps so ts decreases along the sync order.
+  // Find an ordered pair (b, a) with b an update.
+  for (MOpId b = 0; b < r.history.size(); ++b) {
+    for (MOpId a = 0; a < r.history.size(); ++a) {
+      if (a != b && r.trace.sync_order.has(b, a) &&
+          r.trace.timestamps[b].pointwise_less(r.trace.timestamps[a])) {
+        std::swap(r.trace.timestamps[b], r.trace.timestamps[a]);
+        const auto report = audit_protocol_execution(r.history, r.trace);
+        EXPECT_FALSE(report.ok);
+        EXPECT_TRUE(audit_mentions(report, "P5.3") ||
+                    audit_mentions(report, "P5.4"))
+            << report.to_string();
+        return;
+      }
+    }
+  }
+  FAIL() << "no ordered timestamp pair found to corrupt";
+}
+
+TEST(AuditMutation, P54CatchesMissingVersionBump) {
+  Recorded r = record();
+  // Zero out an updater's own written component: P5.4 (strict increase
+  // on written objects) must fire.
+  for (MOpId id = 0; id < r.history.size(); ++id) {
+    const auto& wobjects = r.history.mop(id).wobjects();
+    if (!wobjects.empty()) {
+      auto entries = r.trace.timestamps[id].entries();
+      entries[wobjects[0]] = 0;
+      r.trace.timestamps[id] = util::VersionVector::from_entries(entries);
+      const auto report = audit_protocol_execution(r.history, r.trace);
+      EXPECT_FALSE(report.ok);
+      // Zeroing may trip P5.3 (monotonicity) and/or P5.4/P5.7/P5.8.
+      EXPECT_TRUE(audit_mentions(report, "P5.")) << report.to_string();
+      return;
+    }
+  }
+  FAIL() << "no update found";
+}
+
+TEST(AuditMutation, P57CatchesVersionMismatchOnRead) {
+  Recorded r = record();
+  // Bump a pure reader's version past its writer: P5.7 equality breaks.
+  for (MOpId id = 0; id < r.history.size(); ++id) {
+    const auto& m = r.history.mop(id);
+    if (m.is_query() && !m.external_reads().empty() &&
+        m.external_reads()[0].reads_from != kInitialMOp) {
+      auto entries = r.trace.timestamps[id].entries();
+      entries[m.external_reads()[0].object] += 3;
+      r.trace.timestamps[id] = util::VersionVector::from_entries(entries);
+      const auto report = audit_protocol_execution(r.history, r.trace);
+      EXPECT_FALSE(report.ok);
+      EXPECT_TRUE(audit_mentions(report, "P5.7")) << report.to_string();
+      return;
+    }
+  }
+  FAIL() << "no suitable reader found";
+}
+
+TEST(AuditMutation, LegalityCatchesRewiredRead) {
+  Recorded r = record();
+  // Rewire the sum's read of x0 to the LATER writer while keeping the
+  // earlier timestamp: an overwritten-read (Lemma 9 consequence) or a
+  // P5.7 mismatch must surface.
+  History h(3, 2);
+  h.add(MOperation(0, {Operation::write(0, 5)}, 1, 2, "w0"));
+  h.add(MOperation(1, {Operation::write(1, 6)}, 3, 4, "w1"));
+  // fetch_add writes x0 := 6 (reads 5 from m0).
+  h.add(MOperation(0, {Operation::read(0, 5, 0), Operation::write(0, 6)}, 5, 6,
+                   "fa"));
+  // The sum CLAIMS to read x0 from m0 although fa overwrote it and is
+  // ordered before the sum by real time.
+  h.add(MOperation(2, {Operation::read(0, 5, 0), Operation::read(1, 6, 1)}, 10, 11,
+                   "sum"));
+  ProtocolTrace trace;
+  trace.sync_order = reads_from_order(h);
+  trace.sync_order.merge(real_time_order(h));
+  trace.timestamps = {util::VersionVector::from_entries({1, 0}),
+                      util::VersionVector::from_entries({1, 1}),
+                      util::VersionVector::from_entries({2, 1}),
+                      util::VersionVector::from_entries({2, 1})};
+  trace.is_update = {true, true, true, false};
+  const auto report = audit_protocol_execution(h, trace);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(audit_mentions(report, "Lemma 9") || audit_mentions(report, "P5.7"))
+      << report.to_string();
+}
+
+TEST(AuditMutation, CyclicSyncOrderReported) {
+  Recorded r = record();
+  // Add a back edge to create a cycle.
+  for (MOpId b = 0; b < r.history.size(); ++b) {
+    for (MOpId a = 0; a < r.history.size(); ++a) {
+      if (a != b && r.trace.sync_order.has(b, a)) {
+        r.trace.sync_order.add(a, b);
+        const auto report = audit_protocol_execution(r.history, r.trace);
+        EXPECT_FALSE(report.ok);
+        EXPECT_TRUE(audit_mentions(report, "cyclic")) << report.to_string();
+        return;
+      }
+    }
+  }
+  FAIL() << "no edge found";
+}
+
+TEST(AuditMutation, P51CatchesFabricatedQueryOrder) {
+  // Two real-time-overlapping queries ordered in the sync relation: the
+  // protocols never do this (queries are ordered only by ~t), so the
+  // audit must flag it.
+  History h(2, 1);
+  h.add(MOperation(0, {Operation::read(0, 0, kInitialMOp)}, 1, 10, "q1"));
+  h.add(MOperation(1, {Operation::read(0, 0, kInitialMOp)}, 2, 9, "q2"));
+  ProtocolTrace trace;
+  trace.sync_order = util::BitRelation(2);
+  trace.sync_order.add(0, 1);  // fabricated
+  trace.timestamps = {util::VersionVector(1), util::VersionVector(1)};
+  trace.is_update = {false, false};
+  const auto report = audit_protocol_execution(h, trace);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(audit_mentions(report, "P5.1")) << report.to_string();
+}
+
+}  // namespace
+}  // namespace mocc::core

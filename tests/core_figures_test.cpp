@@ -1,0 +1,223 @@
+// The paper's figures as executable artifacts.
+//
+//   Figure 1 — the worked example history of §2: m-operations α, β, δ, η,
+//              μ with the stated process-order / reads-from / real-time /
+//              object-order facts, plus §4's conflict and interference
+//              claims about it.
+//   Figure 2 — history H1 under WW-constraint (legal, hence admissible by
+//              Theorem 7).
+//   Figure 3 — the extension S1 of H1 that is sequential but NOT legal,
+//              and why ~rw rules it out.
+//   Figures 5 and 7 (protocol example executions) are replayed in
+//   api_test.cpp on the real protocol stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/admissibility.hpp"
+#include "core/constraints.hpp"
+#include "core/fast_check.hpp"
+#include "core/history.hpp"
+#include "core/legality.hpp"
+#include "core/relations.hpp"
+
+namespace mocc::core {
+namespace {
+
+MOperation mop(ProcessId p, std::vector<Operation> ops, Time inv, Time resp,
+               std::string label) {
+  return MOperation(p, std::move(ops), inv, resp, std::move(label));
+}
+
+// --------------------------------------------------------------- Figure 1
+
+class Figure1 : public ::testing::Test {
+ protected:
+  // Objects: x=0, y=1, z=2. Processes: P1=0, P2=1, P3=2.
+  //   α on P1 [1,10]:  w(x)1 w(y)1 w(z)1      (objects(α) = {x,y,z})
+  //   η on P2 [2,12]:  w(x)2 w(y)2
+  //   β on P1 [13,14]: r(x)2   — reads from η
+  //   μ on P2 [13,14]: r(y)2   — reads from η
+  //   δ on P3 [15,16]: r(z)1 (from α), r(y)2 (from η)
+  Figure1() : h(3, 3) {
+    alpha = h.add(mop(0,
+                      {Operation::write(0, 1), Operation::write(1, 1),
+                       Operation::write(2, 1)},
+                      1, 10, "alpha"));
+    eta = h.add(mop(1, {Operation::write(0, 2), Operation::write(1, 2)}, 2, 12,
+                    "eta"));
+    beta = h.add(mop(0, {Operation::read(0, 2, eta)}, 13, 14, "beta"));
+    mu = h.add(mop(1, {Operation::read(1, 2, eta)}, 13, 14, "mu"));
+    delta = h.add(
+        mop(2, {Operation::read(2, 1, alpha), Operation::read(1, 2, eta)}, 15, 16,
+            "delta"));
+  }
+  History h;
+  MOpId alpha, eta, beta, mu, delta;
+};
+
+TEST_F(Figure1, ProcessOrderAlphaBeta) {
+  // "In Figure 1, α ~P1~> β."
+  EXPECT_TRUE(process_order(h).has(alpha, beta));
+  EXPECT_EQ(h.mop(alpha).process(), h.mop(beta).process());
+}
+
+TEST_F(Figure1, ProcAndObjectsOfAlpha) {
+  // "proc(α) = P1 and objects(α) = {x, y, z}."
+  EXPECT_EQ(h.mop(alpha).process(), 0u);
+  EXPECT_EQ(h.mop(alpha).objects(), (std::vector<ObjectId>{0, 1, 2}));
+}
+
+TEST_F(Figure1, ReadsFromFacts) {
+  // "α ~rf~> δ and η ~rf~> δ."
+  const auto rf = reads_from_order(h);
+  EXPECT_TRUE(rf.has(alpha, delta));
+  EXPECT_TRUE(rf.has(eta, delta));
+  EXPECT_FALSE(rf.has(delta, alpha));
+}
+
+TEST_F(Figure1, RealTimeAndObjectOrderFacts) {
+  // "α ~t~> μ, η ~t~> β and η ~xo~> β."
+  const auto rt = real_time_order(h);
+  EXPECT_TRUE(rt.has(alpha, mu));
+  EXPECT_TRUE(rt.has(eta, beta));
+  const auto xo = object_order(h);
+  EXPECT_TRUE(xo.has(eta, beta));
+  // α and η overlap in real time: unordered.
+  EXPECT_FALSE(rt.has(alpha, eta));
+  EXPECT_FALSE(rt.has(eta, alpha));
+}
+
+TEST_F(Figure1, ConflictAndInterference) {
+  // "In Figure 1, α conflicts with η, and m-operations δ, η and α
+  // interfere."
+  EXPECT_TRUE(h.conflict(alpha, eta));
+  EXPECT_TRUE(h.interfere(delta, eta, alpha));  // α writes y; δ reads y from η
+}
+
+TEST_F(Figure1, InterferenceImpliesPairwiseConflict) {
+  // P4.1: interfere => pairwise conflicts and a common object.
+  EXPECT_TRUE(h.conflict(delta, eta));
+  EXPECT_TRUE(h.conflict(eta, alpha));
+  EXPECT_TRUE(h.conflict(alpha, delta));
+}
+
+TEST_F(Figure1, HistoryIsMLinearizable) {
+  // The figure depicts a consistent execution: serialize α η β μ δ.
+  const auto result = check_m_linearizable(h);
+  EXPECT_TRUE(result.admissible);
+  EXPECT_TRUE(is_legal_sequential_order(h, {alpha, eta, beta, mu, delta}));
+}
+
+// --------------------------------------------------------------- Figure 2
+
+class Figure2 : public ::testing::Test {
+ protected:
+  // H1: P1: α = r(x)0 w(y)2 ; β = r(y)2.  P2: γ = w(x)1 ; δ = w(y)3.
+  // WW-constraint synchronizes the updates as α ~ww~> γ ~ww~> δ.
+  Figure2() : h(2, 2) {
+    alpha = h.add(mop(0,
+                      {Operation::read(0, 0, kInitialMOp), Operation::write(1, 2)},
+                      1, 2, "alpha"));
+    gamma = h.add(mop(1, {Operation::write(0, 1)}, 1, 4, "gamma"));
+    beta = h.add(mop(0, {Operation::read(1, 2, alpha)}, 5, 6, "beta"));
+    delta = h.add(mop(1, {Operation::write(1, 3)}, 5, 8, "delta"));
+
+    base = base_order(h, Condition::kMSequentialConsistency);
+    base.add(alpha, gamma);  // the figure's WW-constraint edges
+    base.add(gamma, delta);
+  }
+  History h;
+  MOpId alpha, beta, gamma, delta;
+  util::BitRelation base;
+};
+
+TEST_F(Figure2, UnderWWConstraint) {
+  const auto closed = base.transitive_closure();
+  EXPECT_TRUE(satisfies(h, closed, Constraint::kWW));
+}
+
+TEST_F(Figure2, H1IsLegal) {
+  const auto closed = base.transitive_closure();
+  EXPECT_FALSE(find_legality_violation(h, closed).has_value());
+}
+
+TEST_F(Figure2, Theorem7MakesH1Admissible) {
+  const auto result = fast_check(h, base, Constraint::kWW);
+  EXPECT_TRUE(result.constraint_holds);
+  EXPECT_TRUE(result.legal);
+  EXPECT_TRUE(result.admissible);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(is_legal_sequential_order(h, *result.witness));
+}
+
+TEST_F(Figure2, ExactCheckerAgrees) {
+  const auto result = check_admissible(h, base);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.admissible);
+}
+
+// --------------------------------------------------------------- Figure 3
+
+class Figure3 : public Figure2 {};
+
+TEST_F(Figure3, S1IsSequentialButNotLegal) {
+  // "One of the possible extensions of ~H1 gives us the sequential
+  // history S1 [= α γ δ β] which is not legal."
+  // α γ δ β respects the base order (α→γ→δ from ~ww, α→β from process
+  // order) yet β's read of y=2-from-α is overwritten by δ.
+  const std::vector<MOpId> s1{alpha, gamma, delta, beta};
+  // Respects base:
+  const auto closed = base.transitive_closure();
+  std::map<MOpId, std::size_t> pos;
+  for (std::size_t i = 0; i < s1.size(); ++i) pos[s1[i]] = i;
+  for (MOpId a = 0; a < h.size(); ++a) {
+    for (MOpId b = 0; b < h.size(); ++b) {
+      if (a != b && closed.has(a, b)) EXPECT_LT(pos[a], pos[b]);
+    }
+  }
+  // ...but not legal:
+  EXPECT_FALSE(is_legal_sequential_order(h, s1));
+}
+
+TEST_F(Figure3, RwPrecedenceForbidsS1) {
+  // β ~rw~> δ (D4.11: interfere(β, α, δ) and α ~H~> δ), so any extension
+  // of ~+ places β before δ — exactly what S1 violates.
+  const auto closed = base.transitive_closure();
+  const auto rw = rw_precedence(h, closed);
+  EXPECT_TRUE(rw.has(beta, delta));
+  const auto ext = extended_relation(h, closed);
+  EXPECT_TRUE(ext.closed_is_irreflexive());  // Lemma 4
+  EXPECT_TRUE(ext.has(beta, delta));
+}
+
+TEST_F(Figure3, EveryExtensionOfExtendedRelationIsLegal) {
+  // P4.5 / Lemma 5 in miniature: enumerate ALL linear extensions of ~+
+  // and replay each one (4! = 24 candidates, filter by the order).
+  const auto ext = extended_relation(h, base.transitive_closure());
+  std::vector<MOpId> perm{0, 1, 2, 3};
+  std::sort(perm.begin(), perm.end());
+  int extensions = 0;
+  do {
+    std::map<MOpId, std::size_t> pos;
+    for (std::size_t i = 0; i < perm.size(); ++i) pos[perm[i]] = i;
+    bool respects = true;
+    for (MOpId a = 0; a < h.size() && respects; ++a) {
+      for (MOpId b = 0; b < h.size(); ++b) {
+        if (a != b && ext.has(a, b) && pos[a] > pos[b]) {
+          respects = false;
+          break;
+        }
+      }
+    }
+    if (!respects) continue;
+    ++extensions;
+    EXPECT_TRUE(is_legal_sequential_order(h, perm))
+        << "extension not legal: " << perm[0] << perm[1] << perm[2] << perm[3];
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_GE(extensions, 1);
+}
+
+}  // namespace
+}  // namespace mocc::core

@@ -1,0 +1,237 @@
+// Unit tests for legality (D4.6), read-write precedence ~rw (D4.11), the
+// extended relation ~+ (D4.12), and the execution constraints (D4.8-10).
+#include <gtest/gtest.h>
+
+#include "core/constraints.hpp"
+#include "core/history.hpp"
+#include "core/legality.hpp"
+#include "core/relations.hpp"
+
+namespace mocc::core {
+namespace {
+
+MOperation mop(ProcessId p, std::vector<Operation> ops, Time inv, Time resp) {
+  return MOperation(p, std::move(ops), inv, resp);
+}
+
+// -------------------------------------------------------------- legality
+
+TEST(Legality, LegalWhenNoInterposedWriter) {
+  History h(2, 1);
+  const auto w = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  h.add(mop(1, {Operation::read(0, 1, w)}, 3, 4));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  EXPECT_TRUE(legal(h, order));
+}
+
+TEST(Legality, ViolationWhenWriterInterposed) {
+  // β=w(x)1 ~> γ=w(x)2 ~> α=r(x)1-from-β : illegal.
+  History h(3, 1);
+  const auto beta = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  const auto gamma = h.add(mop(1, {Operation::write(0, 2)}, 3, 4));
+  const auto alpha = h.add(mop(2, {Operation::read(0, 1, beta)}, 5, 6));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  const auto violation = find_legality_violation(h, order);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->alpha, alpha);
+  EXPECT_EQ(violation->beta, beta);
+  EXPECT_EQ(violation->gamma, gamma);
+  EXPECT_EQ(violation->object, 0u);
+  EXPECT_FALSE(violation->to_string().empty());
+}
+
+TEST(Legality, SameHistoryLegalUnderWeakerCondition) {
+  // The Legality.ViolationWhenWriterInterposed history is illegal only
+  // because of real-time edges; under m-SC (process+rf only) the order
+  // leaves γ unordered w.r.t. β and α, so no violation exists.
+  History h(3, 1);
+  const auto beta = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  h.add(mop(1, {Operation::write(0, 2)}, 3, 4));
+  h.add(mop(2, {Operation::read(0, 1, beta)}, 5, 6));
+  const auto order = closed_base_order(h, Condition::kMSequentialConsistency);
+  EXPECT_TRUE(legal(h, order));
+}
+
+TEST(Legality, InitialReadOverwrittenIsViolation) {
+  // α reads x from the initializing write but a writer of x precedes α.
+  History h(2, 1);
+  const auto gamma = h.add(mop(0, {Operation::write(0, 5)}, 1, 2));
+  const auto alpha = h.add(mop(1, {Operation::read(0, 0, kInitialMOp)}, 3, 4));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  const auto violation = find_legality_violation(h, order);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->alpha, alpha);
+  EXPECT_EQ(violation->beta, kInitialMOp);
+  EXPECT_EQ(violation->gamma, gamma);
+}
+
+TEST(Legality, InitialReadFineWhenWriterUnordered) {
+  History h(2, 1);
+  h.add(mop(0, {Operation::write(0, 5)}, 1, 10));
+  h.add(mop(1, {Operation::read(0, 0, kInitialMOp)}, 2, 9));  // overlaps
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  EXPECT_TRUE(legal(h, order));
+}
+
+// ------------------------------------------------------ ~rw / extended
+
+TEST(RwPrecedence, ForcesReaderBeforeOverwriter) {
+  // β=w(x)1 ; α=r(x)1-from-β ; γ=w(x)2 with β ~> γ known:
+  // D4.11 gives α ~rw~> γ.
+  History h(3, 1);
+  const auto beta = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  const auto gamma = h.add(mop(1, {Operation::write(0, 2)}, 3, 4));
+  const auto alpha = h.add(mop(2, {Operation::read(0, 1, beta)}, 3, 4));  // overlaps γ
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  // β ~t~> γ (resp 2 < inv 3) so the interference triggers.
+  const auto rw = rw_precedence(h, order);
+  EXPECT_TRUE(rw.has(alpha, gamma));
+  EXPECT_FALSE(rw.has(gamma, alpha));
+}
+
+TEST(RwPrecedence, InitialWriterAlwaysPrecedes) {
+  // α reads from init; any writer γ of the object gets α ~rw~> γ.
+  History h(2, 1);
+  const auto gamma = h.add(mop(0, {Operation::write(0, 5)}, 1, 10));
+  const auto alpha = h.add(mop(1, {Operation::read(0, 0, kInitialMOp)}, 2, 9));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  const auto rw = rw_precedence(h, order);
+  EXPECT_TRUE(rw.has(alpha, gamma));
+}
+
+TEST(RwPrecedence, NoEdgeWithoutOrderBetaGamma) {
+  // β and γ unordered: D4.11 does not apply.
+  History h(3, 1);
+  const auto beta = h.add(mop(0, {Operation::write(0, 1)}, 1, 10));
+  h.add(mop(1, {Operation::write(0, 2)}, 2, 9));  // overlaps β
+  const auto alpha = h.add(mop(2, {Operation::read(0, 1, beta)}, 11, 12));
+  const auto order = closed_base_order(h, Condition::kMSequentialConsistency);
+  const auto rw = rw_precedence(h, order);
+  EXPECT_FALSE(rw.has(alpha, 1));
+}
+
+TEST(ExtendedRelation, ContainsBaseAndRw) {
+  History h(3, 1);
+  const auto beta = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  const auto gamma = h.add(mop(1, {Operation::write(0, 2)}, 3, 4));
+  const auto alpha = h.add(mop(2, {Operation::read(0, 1, beta)}, 3, 4));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  const auto ext = extended_relation(h, order);
+  EXPECT_TRUE(ext.has(beta, gamma));   // from base
+  EXPECT_TRUE(ext.has(alpha, gamma));  // from ~rw
+  EXPECT_TRUE(ext.has(beta, alpha));   // rf edge
+  EXPECT_TRUE(ext.closed_is_irreflexive());
+}
+
+// --------------------------------------------------- sequential replay
+
+TEST(LegalSequentialOrder, AcceptsConsistentOrder) {
+  History h(2, 1);
+  const auto w = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  const auto r = h.add(mop(1, {Operation::read(0, 1, w)}, 3, 4));
+  EXPECT_TRUE(is_legal_sequential_order(h, {w, r}));
+  EXPECT_FALSE(is_legal_sequential_order(h, {r, w}));  // read before write
+}
+
+TEST(LegalSequentialOrder, DetectsInterposedWriter) {
+  History h(3, 1);
+  const auto b = h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  const auto g = h.add(mop(1, {Operation::write(0, 2)}, 3, 4));
+  const auto a = h.add(mop(2, {Operation::read(0, 1, b)}, 5, 6));
+  EXPECT_TRUE(is_legal_sequential_order(h, {b, a, g}));
+  EXPECT_FALSE(is_legal_sequential_order(h, {b, g, a}));
+}
+
+TEST(LegalSequentialOrder, RejectsWrongLengthAndDuplicates) {
+  History h(1, 1);
+  h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  EXPECT_FALSE(is_legal_sequential_order(h, {}));
+  EXPECT_FALSE(is_legal_sequential_order(h, {0, 0}));
+}
+
+TEST(LegalSequentialOrder, ReadOwnWriteThenOthersRead) {
+  // m-op writes x then (internally) reads it; another m-op reads from it.
+  History h(2, 1);
+  const auto a =
+      h.add(mop(0, {Operation::write(0, 5), Operation::read(0, 5, 0)}, 1, 2));
+  const auto b = h.add(mop(1, {Operation::read(0, 5, a)}, 3, 4));
+  EXPECT_TRUE(is_legal_sequential_order(h, {a, b}));
+}
+
+// ------------------------------------------------------------ constraints
+
+class ConstraintFixture : public ::testing::Test {
+ protected:
+  // Two updates on disjoint objects, real-time overlapping; one query.
+  ConstraintFixture() : h(3, 2) {
+    u1 = h.add(mop(0, {Operation::write(0, 1)}, 1, 10));
+    u2 = h.add(mop(1, {Operation::write(1, 2)}, 2, 9));
+    q = h.add(mop(2, {Operation::read(0, 1, u1)}, 11, 12));
+  }
+  History h;
+  MOpId u1, u2, q;
+};
+
+TEST_F(ConstraintFixture, WWRequiresAllUpdatePairsOrdered) {
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  // u1, u2 overlap and touch disjoint objects: unordered => WW violated.
+  const auto violation = find_constraint_violation(h, order, Constraint::kWW);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->constraint, Constraint::kWW);
+  EXPECT_FALSE(violation->to_string().empty());
+}
+
+TEST_F(ConstraintFixture, OOAndWOHoldWithDisjointWrites) {
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  // u1 and u2 do not conflict (disjoint objects): OO satisfied.
+  EXPECT_TRUE(satisfies(h, order, Constraint::kOO));
+  EXPECT_TRUE(satisfies(h, order, Constraint::kWO));
+}
+
+TEST(Constraints, OOViolatedByUnorderedConflict) {
+  History h(2, 1);
+  h.add(mop(0, {Operation::write(0, 1)}, 1, 10));
+  h.add(mop(1, {Operation::read(0, 0, kInitialMOp)}, 2, 9));  // overlap, conflict
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  EXPECT_FALSE(satisfies(h, order, Constraint::kOO));
+  // WO only cares about write-write on a common object: satisfied.
+  EXPECT_TRUE(satisfies(h, order, Constraint::kWO));
+}
+
+TEST(Constraints, WOViolatedByUnorderedCoWriters) {
+  History h(2, 1);
+  h.add(mop(0, {Operation::write(0, 1)}, 1, 10));
+  h.add(mop(1, {Operation::write(0, 2)}, 2, 9));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  EXPECT_FALSE(satisfies(h, order, Constraint::kWO));
+  EXPECT_FALSE(satisfies(h, order, Constraint::kOO));
+  EXPECT_FALSE(satisfies(h, order, Constraint::kWW));
+}
+
+TEST(Constraints, AllHoldWhenEverythingOrdered) {
+  History h(1, 1);  // single process: process order totally orders
+  h.add(mop(0, {Operation::write(0, 1)}, 1, 2));
+  h.add(mop(0, {Operation::write(0, 2)}, 3, 4));
+  h.add(mop(0, {Operation::read(0, 2, 1)}, 5, 6));
+  const auto order = closed_base_order(h, Condition::kMSequentialConsistency);
+  EXPECT_TRUE(satisfies(h, order, Constraint::kWW));
+  EXPECT_TRUE(satisfies(h, order, Constraint::kOO));
+  EXPECT_TRUE(satisfies(h, order, Constraint::kWO));
+}
+
+TEST(Constraints, QueriesExemptFromWW) {
+  History h(2, 1);
+  h.add(mop(0, {Operation::read(0, 0, kInitialMOp)}, 1, 10));
+  h.add(mop(1, {Operation::read(0, 0, kInitialMOp)}, 2, 9));
+  const auto order = closed_base_order(h, Condition::kMLinearizability);
+  EXPECT_TRUE(satisfies(h, order, Constraint::kWW));
+}
+
+TEST(Constraints, Names) {
+  EXPECT_STREQ(constraint_name(Constraint::kOO), "OO");
+  EXPECT_STREQ(constraint_name(Constraint::kWW), "WW");
+  EXPECT_STREQ(constraint_name(Constraint::kWO), "WO");
+}
+
+}  // namespace
+}  // namespace mocc::core

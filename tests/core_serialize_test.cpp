@@ -1,0 +1,165 @@
+// Tests for the plain-text history format (core/serialize.hpp).
+#include <gtest/gtest.h>
+
+#include "core/generate.hpp"
+#include "core/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::core {
+namespace {
+
+TEST(Serialize, RoundTripSimpleHistory) {
+  History h(2, 2);
+  const auto w = h.add(MOperation(
+      0, {Operation::write(0, 5), Operation::write(1, 6)}, 1, 2, "init"));
+  h.add(MOperation(1,
+                   {Operation::read(0, 5, w), Operation::read(1, 0, kInitialMOp)},
+                   3, 4, "reader"));
+  const std::string text = serialize_history(h);
+  std::string error;
+  const auto parsed = parse_history(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->equivalent(h));
+  EXPECT_EQ(parsed->mop(0).label(), "init");
+  EXPECT_EQ(parsed->mop(1).invoke(), 3u);
+}
+
+TEST(Serialize, RoundTripSelfReads) {
+  History h(1, 1);
+  h.add(MOperation(0, {Operation::write(0, 5), Operation::read(0, 5, 0)}, 1, 2));
+  const auto parsed = parse_history(serialize_history(h), nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->equivalent(h));
+}
+
+TEST(Serialize, RoundTripForwardReference) {
+  History h(2, 1);
+  h.add(MOperation(0, {Operation{OpType::kRead, 0, 7, 1}}, 1, 2));
+  h.add(MOperation(1, {Operation::write(0, 7)}, 1, 2));
+  const auto parsed = parse_history(serialize_history(h), nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->equivalent(h));
+}
+
+TEST(Serialize, RoundTripNegativeValues) {
+  History h(1, 1);
+  h.add(MOperation(0, {Operation::write(0, -42)}, 1, 2));
+  const auto parsed = parse_history(serialize_history(h), nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mop(0).final_write_value(0), -42);
+}
+
+class SerializeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeRandom, RoundTripGeneratedHistories) {
+  util::Rng rng(GetParam());
+  GeneratorParams params;
+  params.num_mops = 15;
+  params.num_processes = 4;
+  params.num_objects = 3;
+  const History h = generate_admissible_history(params, rng);
+  std::string error;
+  const auto parsed = parse_history(serialize_history(h), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->equivalent(h));
+  // Times survive too (equivalence ignores them; check directly).
+  for (MOpId id = 0; id < h.size(); ++id) {
+    EXPECT_EQ(parsed->mop(id).invoke(), h.mop(id).invoke());
+    EXPECT_EQ(parsed->mop(id).response(), h.mop(id).response());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandom, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Parse, CommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "history 1 1\n"
+      "# another\n"
+      "mop 0 1 2 : w(0)5\n";
+  const auto parsed = parse_history(text, nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(Parse, LabelIsOptional) {
+  const auto parsed = parse_history("history 1 1\nmop 0 1 2 : w(0)5\n", nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->mop(0).label().empty());
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(parse_history("history 1 1\nmop 0 1 2 : q(0)5\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(Parse, RejectsMissingHeader) {
+  std::string error;
+  EXPECT_FALSE(parse_history("mop 0 1 2 : w(0)5\n", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(Parse, RejectsDuplicateHeader) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_history("history 1 1\nhistory 1 1\n", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(Parse, RejectsProcessOutOfRange) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_history("history 1 1\nmop 7 1 2 : w(0)5\n", &error).has_value());
+  EXPECT_NE(error.find("process"), std::string::npos);
+}
+
+TEST(Parse, RejectsObjectOutOfRange) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_history("history 1 1\nmop 0 1 2 : w(9)5\n", &error).has_value());
+  EXPECT_NE(error.find("object"), std::string::npos);
+}
+
+TEST(Parse, RejectsInvokeAfterResponse) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_history("history 1 1\nmop 0 9 2 : w(0)5\n", &error).has_value());
+  EXPECT_NE(error.find("invoke"), std::string::npos);
+}
+
+TEST(Parse, RejectsDanglingReadsFrom) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_history("history 1 1\nmop 0 1 2 : r(0)5@17\n", &error).has_value());
+  EXPECT_NE(error.find("out-of-range"), std::string::npos);
+}
+
+TEST(Parse, RejectsMalformedOps) {
+  for (const char* bad : {"w(0)", "r(0)5", "w(x)5", "r(0)5@bob", "write(0)5"}) {
+    std::string error;
+    const std::string text = std::string("history 1 1\nmop 0 1 2 : ") + bad + "\n";
+    EXPECT_FALSE(parse_history(text, &error).has_value()) << bad;
+  }
+}
+
+TEST(SaveLoad, FileRoundTrip) {
+  History h(1, 1);
+  h.add(MOperation(0, {Operation::write(0, 5)}, 1, 2, "only"));
+  const std::string path = ::testing::TempDir() + "/mocc_serialize_test.txt";
+  std::string error;
+  ASSERT_TRUE(save_history(h, path, &error)) << error;
+  const auto loaded = load_history(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->equivalent(h));
+}
+
+TEST(SaveLoad, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(load_history("/nonexistent/nope.txt", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mocc::core

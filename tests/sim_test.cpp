@@ -1,0 +1,229 @@
+// Tests for the discrete-event simulator and delay models.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace mocc::sim {
+namespace {
+
+/// Records everything it receives.
+class Recorder final : public Actor {
+ public:
+  void on_message(Context&, const Message& message) override {
+    received.push_back(message);
+  }
+  void on_timer(Context&, std::uint64_t timer_id) override {
+    timers.push_back(timer_id);
+  }
+  std::vector<Message> received;
+  std::vector<std::uint64_t> timers;
+};
+
+/// Sends a burst of numbered messages to node 1 at start.
+class Burster final : public Actor {
+ public:
+  explicit Burster(int count) : count_(count) {}
+  void on_start(Context& ctx) override {
+    for (int i = 0; i < count_; ++i) {
+      util::ByteWriter w;
+      w.put_u32(static_cast<std::uint32_t>(i));
+      ctx.send(1, /*kind=*/7, w.take());
+    }
+  }
+  void on_message(Context&, const Message&) override {}
+
+ private:
+  int count_;
+};
+
+TEST(Simulator, DeliversMessages) {
+  Simulator sim(std::make_unique<ConstantDelay>(5), 1);
+  sim.add_node(std::make_unique<Burster>(3));
+  const auto rx = sim.add_node(std::make_unique<Recorder>());
+  sim.run();
+  auto& recorder = dynamic_cast<Recorder&>(sim.actor(rx));
+  EXPECT_EQ(recorder.received.size(), 3u);
+  EXPECT_EQ(sim.now(), 5u);  // all delivered at t=5
+}
+
+TEST(Simulator, ConstantDelayPreservesFifo) {
+  Simulator sim(std::make_unique<ConstantDelay>(5), 1);
+  sim.add_node(std::make_unique<Burster>(10));
+  const auto rx = sim.add_node(std::make_unique<Recorder>());
+  sim.run();
+  auto& recorder = dynamic_cast<Recorder&>(sim.actor(rx));
+  for (std::size_t i = 0; i < recorder.received.size(); ++i) {
+    util::ByteReader r(recorder.received[i].payload);
+    EXPECT_EQ(r.get_u32(), i);  // same delay + seq tie-break = FIFO
+  }
+}
+
+TEST(Simulator, ReorderDelayActuallyReorders) {
+  Simulator sim(make_delay_model("reorder"), 12345);
+  sim.add_node(std::make_unique<Burster>(50));
+  const auto rx = sim.add_node(std::make_unique<Recorder>());
+  sim.run();
+  auto& recorder = dynamic_cast<Recorder&>(sim.actor(rx));
+  ASSERT_EQ(recorder.received.size(), 50u);
+  bool out_of_order = false;
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < recorder.received.size(); ++i) {
+    util::ByteReader r(recorder.received[i].payload);
+    const auto id = r.get_u32();
+    if (i > 0 && id < prev) out_of_order = true;
+    prev = id;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(make_delay_model("uniform"), 777);
+    sim.add_node(std::make_unique<Burster>(20));
+    const auto rx = sim.add_node(std::make_unique<Recorder>());
+    sim.run();
+    auto& recorder = dynamic_cast<Recorder&>(sim.actor(rx));
+    std::vector<std::uint32_t> order;
+    for (const auto& m : recorder.received) {
+      util::ByteReader r(m.payload);
+      order.push_back(r.get_u32());
+    }
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, TimersFire) {
+  class TimerActor final : public Actor {
+   public:
+    void on_start(Context& ctx) override {
+      ctx.set_timer(10, 1);
+      ctx.set_timer(5, 2);
+    }
+    void on_message(Context&, const Message&) override {}
+    void on_timer(Context& ctx, std::uint64_t id) override {
+      fired.emplace_back(ctx.now(), id);
+    }
+    std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  };
+  Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+  const auto node = sim.add_node(std::make_unique<TimerActor>());
+  sim.run();
+  auto& actor = dynamic_cast<TimerActor&>(sim.actor(node));
+  ASSERT_EQ(actor.fired.size(), 2u);
+  EXPECT_EQ(actor.fired[0], (std::pair<SimTime, std::uint64_t>{5, 2}));
+  EXPECT_EQ(actor.fired[1], (std::pair<SimTime, std::uint64_t>{10, 1}));
+}
+
+TEST(Simulator, ScheduledCallsRunAtRequestedTime) {
+  Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+  sim.add_node(std::make_unique<Recorder>());
+  std::vector<SimTime> at;
+  sim.schedule_call(30, [&] { at.push_back(sim.now()); });
+  sim.schedule_call(10, [&] { at.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(at, (std::vector<SimTime>{10, 30}));
+}
+
+TEST(Simulator, MaxTimeStopsEarly) {
+  Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+  sim.add_node(std::make_unique<Recorder>());
+  bool ran = false;
+  sim.schedule_call(100, [&] { ran = true; });
+  sim.run(/*max_time=*/50);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, ResumesAfterMaxTimeWithoutLosingEvents) {
+  Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+  sim.add_node(std::make_unique<Recorder>());
+  bool ran = false;
+  sim.schedule_call(100, [&] { ran = true; });
+  sim.run(/*max_time=*/50);
+  ASSERT_FALSE(ran);
+  sim.run();  // resume: the event at t=100 must still fire
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, TrafficStatsCountMessagesAndBytes) {
+  Simulator sim(std::make_unique<ConstantDelay>(2), 1);
+  sim.add_node(std::make_unique<Burster>(4));
+  sim.add_node(std::make_unique<Recorder>());
+  sim.run();
+  EXPECT_EQ(sim.traffic().messages, 4u);
+  EXPECT_EQ(sim.traffic().bytes, 16u);  // 4 bytes each
+  EXPECT_EQ(sim.traffic().messages_by_kind.at(7), 4u);
+}
+
+TEST(Simulator, SendToOthersSkipsSelf) {
+  class Broadcaster final : public Actor {
+   public:
+    void on_start(Context& ctx) override { ctx.send_to_others(3, {}); }
+    void on_message(Context&, const Message& m) override { received.push_back(m); }
+    std::vector<Message> received;
+  };
+  Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(sim.add_node(std::make_unique<Broadcaster>()));
+  sim.run();
+  for (const auto node : nodes) {
+    auto& actor = dynamic_cast<Broadcaster&>(sim.actor(node));
+    EXPECT_EQ(actor.received.size(), 3u);  // from every other node
+    for (const auto& m : actor.received) EXPECT_NE(m.from, node);
+  }
+}
+
+// ---------------------------------------------------------------- delays
+
+TEST(Delay, ConstantAlwaysSame) {
+  util::Rng rng(1);
+  ConstantDelay d(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(0, 1, rng), 9u);
+}
+
+TEST(Delay, ConstantClampsToOne) {
+  util::Rng rng(1);
+  ConstantDelay d(0);
+  EXPECT_EQ(d.sample(0, 1, rng), 1u);
+}
+
+TEST(Delay, UniformWithinBounds) {
+  util::Rng rng(2);
+  UniformDelay d(5, 15);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = d.sample(0, 1, rng);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 15u);
+  }
+}
+
+TEST(Delay, ExponentialPositiveAndCapped) {
+  util::Rng rng(3);
+  ExponentialDelay d(10.0, 50);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = d.sample(0, 1, rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(Delay, FactoryKnowsAllNames) {
+  for (const char* name :
+       {"constant", "lan", "wan", "uniform", "reorder", "exponential"}) {
+    EXPECT_NE(make_delay_model(name), nullptr) << name;
+  }
+}
+
+TEST(DelayDeath, FactoryRejectsUnknown) {
+  EXPECT_DEATH((void)make_delay_model("carrier-pigeon"), "unknown delay model");
+}
+
+}  // namespace
+}  // namespace mocc::sim

@@ -1,0 +1,354 @@
+// Tests for database schedules, the serializability checkers, and the
+// Theorem-2 reduction (schedule strict-view-serializable ⟺ reduced
+// history m-linearizable; plain view serializability ⟺ m-sequential
+// consistency of the same history).
+#include <gtest/gtest.h>
+
+#include "core/admissibility.hpp"
+#include "txn/generate.hpp"
+#include "txn/reduction.hpp"
+#include "txn/schedule.hpp"
+#include "txn/serializability.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::txn {
+namespace {
+
+// ---------------------------------------------------------------- schedule
+
+TEST(Schedule, ReadsFromLatestPrecedingWrite) {
+  Schedule s(2, 1);
+  s.append(0, true, 0);   // w0(e0)
+  s.append(1, true, 0);   // w1(e0)
+  s.append(0, false, 0);  // r0(e0) — reads T1's write
+  EXPECT_EQ(s.reads_from(2), 1u);
+}
+
+TEST(Schedule, ReadsFromInitialWhenNoWrite) {
+  Schedule s(1, 1);
+  s.append(0, false, 0);
+  EXPECT_EQ(s.reads_from(0), kInitialTxn);
+}
+
+TEST(Schedule, FirstLastActionPositions) {
+  Schedule s(2, 2);
+  s.append(0, true, 0);
+  s.append(1, true, 1);
+  s.append(0, false, 1);
+  EXPECT_EQ(s.first_action(0), std::size_t{0});
+  EXPECT_EQ(s.last_action(0), std::size_t{2});
+  EXPECT_EQ(s.first_action(1), std::size_t{1});
+  EXPECT_FALSE(s.first_action(5).has_value());
+}
+
+TEST(Schedule, NonOverlappingBefore) {
+  Schedule s(2, 1);
+  s.append(0, true, 0);
+  s.append(0, false, 0);
+  s.append(1, true, 0);
+  EXPECT_TRUE(s.non_overlapping_before(0, 1));
+  EXPECT_FALSE(s.non_overlapping_before(1, 0));
+}
+
+TEST(Schedule, ExternalReadsSkipOwnWrittenEntities) {
+  Schedule s(1, 2);
+  s.append(0, true, 0);   // w(e0)
+  s.append(0, false, 0);  // internal read
+  s.append(0, false, 1);  // external read from initial
+  const auto reads = s.external_reads(0);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].entity, 1u);
+  EXPECT_EQ(reads[0].from, kInitialTxn);
+}
+
+TEST(Schedule, WriteSetAndFinalWriter) {
+  Schedule s(2, 2);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  s.append(0, true, 1);
+  EXPECT_EQ(s.write_set(0), (std::vector<EntityId>{0, 1}));
+  EXPECT_EQ(s.final_writer(0), 1u);
+  EXPECT_EQ(s.final_writer(1), 0u);
+}
+
+TEST(Schedule, AugmentAddsInitialAndFinalTxns) {
+  Schedule s(1, 2);
+  s.append(0, false, 0);
+  const auto aug = s.augment();
+  EXPECT_EQ(aug.schedule.num_txns(), 3u);
+  // T0's writes come first; T-infinity's reads last.
+  EXPECT_EQ(aug.schedule.actions().front().txn, aug.t0);
+  EXPECT_TRUE(aug.schedule.actions().front().is_write);
+  EXPECT_EQ(aug.schedule.actions().back().txn, aug.t_inf);
+  EXPECT_FALSE(aug.schedule.actions().back().is_write);
+  // The original read now reads from T0.
+  EXPECT_EQ(aug.schedule.reads_from(2), aug.t0);
+}
+
+TEST(Schedule, SeriallyRealizableDetectsStaleInternalRead) {
+  // T0 writes e0, T1 writes e0, then T0 reads e0 -> sees T1's value
+  // although it wrote e0 itself: impossible serially.
+  Schedule s(2, 1);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  s.append(0, false, 0);
+  EXPECT_FALSE(s.reads_are_serially_realizable());
+}
+
+TEST(Schedule, SeriallyRealizableDetectsNonFinalWriteRead) {
+  // T1 writes e0 twice with T0 reading in between: T0 reads T1's
+  // non-final write — impossible serially.
+  Schedule s(2, 1);
+  s.append(1, true, 0);
+  s.append(0, false, 0);
+  s.append(1, true, 0);
+  EXPECT_FALSE(s.reads_are_serially_realizable());
+}
+
+TEST(Schedule, SeriallyRealizableAcceptsCleanSchedules) {
+  Schedule s(2, 2);
+  s.append(0, true, 0);
+  s.append(1, false, 0);
+  s.append(1, true, 1);
+  s.append(0, false, 1);
+  EXPECT_TRUE(s.reads_are_serially_realizable());
+}
+
+// --------------------------------------------------------- serializability
+
+TEST(ViewSerializable, SerialScheduleAlwaysSerializable) {
+  util::Rng rng(1);
+  ScheduleParams params;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Schedule s = generate_serial_schedule(params, rng);
+    const auto result = view_serializable(s);
+    EXPECT_TRUE(result.serializable);
+    ASSERT_TRUE(result.witness.has_value());
+    EXPECT_TRUE(is_view_equivalent_serial_order(s, *result.witness));
+  }
+}
+
+TEST(ViewSerializable, ClassicNonSerializableInterleaving) {
+  // Lost update: r0(e) r1(e) w0(e) w1(e) with final read seeing w1 but
+  // both reads seeing the initial value.
+  Schedule s(2, 1);
+  s.append(0, false, 0);
+  s.append(1, false, 0);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  EXPECT_FALSE(view_serializable(s).serializable);
+}
+
+TEST(ViewSerializable, WriteOnlyBlindWritesSerializable) {
+  // Blind writes: w0(e) w1(e): final writer is T1 => order T0 T1 works.
+  Schedule s(2, 1);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  const auto result = view_serializable(s);
+  EXPECT_TRUE(result.serializable);
+  EXPECT_EQ(*result.witness, (std::vector<TxnId>{0, 1}));
+}
+
+TEST(ViewSerializable, FamousViewButNotConflictSerializable) {
+  // The textbook example: blind writes make it view serializable while
+  // the precedence graph is cyclic.
+  //   w0(e) ; r1(e)?? — classic: T1: r(x) w(x); T2: w(x); T3: w(x)
+  //   schedule: r1(x) w2(x) w1(x) w3(x)
+  Schedule s(3, 1);
+  s.append(0, false, 0);  // r1(x) reads initial
+  s.append(1, true, 0);   // w2(x)
+  s.append(0, true, 0);   // w1(x)
+  s.append(2, true, 0);   // w3(x)  (final)
+  EXPECT_TRUE(view_serializable(s).serializable);   // T1 T2 T3
+  EXPECT_FALSE(conflict_serializable(s));           // cycle T1<->T2
+}
+
+TEST(ConflictSerializable, SerialIsConflictSerializable) {
+  util::Rng rng(2);
+  ScheduleParams params;
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_TRUE(conflict_serializable(generate_serial_schedule(params, rng)));
+  }
+}
+
+TEST(ConflictSerializable, ImpliesViewSerializable) {
+  util::Rng rng(3);
+  ScheduleParams params;
+  params.num_txns = 4;
+  params.num_entities = 2;
+  int conflict_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Schedule s = generate_interleaved_schedule(params, rng);
+    if (!s.reads_are_serially_realizable()) continue;
+    if (conflict_serializable(s)) {
+      ++conflict_count;
+      EXPECT_TRUE(view_serializable(s).serializable) << s.to_string();
+    }
+  }
+  EXPECT_GT(conflict_count, 5);  // the sweep actually exercised the property
+}
+
+TEST(StrictViewSerializable, ImpliesViewSerializable) {
+  util::Rng rng(4);
+  ScheduleParams params;
+  params.num_txns = 4;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Schedule s = generate_interleaved_schedule(params, rng);
+    if (strict_view_serializable(s).serializable) {
+      EXPECT_TRUE(view_serializable(s).serializable) << s.to_string();
+    }
+  }
+}
+
+TEST(StrictViewSerializable, SeparatedFromViewSerializable) {
+  // A = T0 = w(x), B = T1 = w(y), C = T2 = r(x) … r(y).
+  // Schedule:  r_C(x)[init]  w_A(x)  w_B(y)  r_C(y)[from B]
+  // A occupies position 1 only and B position 2 only: A completes before
+  // B starts. Yet every view-equivalent serial order must put C before A
+  // (C read x before A's write) and B before C (C reads y from B), i.e.
+  // B C A — which inverts the non-overlapping pair (A, B). So: view
+  // serializable, NOT strict view serializable.
+  Schedule s(3, 2);
+  s.append(2, false, 0);  // r_C(x) -> initial
+  s.append(0, true, 0);   // w_A(x)
+  s.append(1, true, 1);   // w_B(y)
+  s.append(2, false, 1);  // r_C(y) -> B
+  ASSERT_TRUE(s.non_overlapping_before(0, 1));
+
+  const auto view = view_serializable(s);
+  EXPECT_TRUE(view.serializable);
+  ASSERT_TRUE(view.witness.has_value());
+  EXPECT_EQ(*view.witness, (std::vector<TxnId>{1, 2, 0}));
+
+  EXPECT_FALSE(strict_view_serializable(s).serializable);
+}
+
+TEST(Reduction, SeparatorScheduleSeparatesConditionsToo) {
+  // The same schedule through the Theorem-2 reduction: the history is
+  // m-sequentially consistent but not m-linearizable.
+  Schedule s(3, 2);
+  s.append(2, false, 0);
+  s.append(0, true, 0);
+  s.append(1, true, 1);
+  s.append(2, false, 1);
+  const auto red = reduce_to_history(s);
+  ASSERT_TRUE(red.feasible);
+  EXPECT_FALSE(core::check_m_linearizable(red.history).admissible);
+
+  auto base = core::base_order(red.history, core::Condition::kMSequentialConsistency);
+  for (core::MOpId id = 0; id < red.history.size(); ++id) {
+    if (id != red.t_inf_mop) base.add(id, red.t_inf_mop);
+  }
+  EXPECT_TRUE(core::check_admissible(red.history, base).admissible);
+}
+
+TEST(StrictViewSerializable, RejectsNotSeriallyRealizable) {
+  Schedule s(2, 1);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  s.append(0, false, 0);  // T0 reads T1's value after own write
+  EXPECT_FALSE(strict_view_serializable(s).serializable);
+  EXPECT_FALSE(view_serializable(s).serializable);
+}
+
+// ------------------------------------------------------------- reduction
+
+TEST(Reduction, BuildsOneMopPerTxnPlusReader) {
+  Schedule s(2, 2);
+  s.append(0, true, 0);
+  s.append(1, false, 0);
+  s.append(1, true, 1);
+  const auto red = reduce_to_history(s);
+  ASSERT_TRUE(red.feasible);
+  EXPECT_EQ(red.history.size(), 3u);  // T0, T1, T-infinity
+  EXPECT_EQ(red.history.mop(red.t_inf_mop).external_reads().size(), 2u);
+}
+
+TEST(Reduction, NonOverlapMapsToRealTime) {
+  Schedule s(2, 1);
+  s.append(0, true, 0);
+  s.append(1, true, 0);
+  const auto red = reduce_to_history(s);
+  ASSERT_TRUE(red.feasible);
+  const auto& h = red.history;
+  EXPECT_LT(h.mop(red.txn_to_mop[0]).response(), h.mop(red.txn_to_mop[1]).invoke());
+}
+
+TEST(Reduction, OverlapMapsToOverlap) {
+  // T0 = w(e0) … r(e1) spans T1 = w(e1): overlapping transactions map to
+  // overlapping m-operations.
+  Schedule s(2, 2);
+  s.append(0, true, 0);
+  s.append(1, true, 1);
+  s.append(0, false, 1);  // T0 reads e1 from T1 (its final write)
+  const auto red = reduce_to_history(s);
+  ASSERT_TRUE(red.feasible);
+  const auto& h = red.history;
+  const auto& t0 = h.mop(red.txn_to_mop[0]);
+  const auto& t1 = h.mop(red.txn_to_mop[1]);
+  EXPECT_LT(t0.invoke(), t1.invoke());
+  EXPECT_LT(t1.response(), t0.response());  // T1 nested inside T0
+}
+
+TEST(Reduction, InfeasibleScheduleReported) {
+  Schedule s(2, 1);
+  s.append(1, true, 0);
+  s.append(0, false, 0);
+  s.append(1, true, 0);  // read of non-final write
+  EXPECT_FALSE(reduce_to_history(s).feasible);
+}
+
+class ReductionAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionAgreement, Theorem2StrictViewIffMLinearizable) {
+  util::Rng rng(GetParam() * 104729);
+  ScheduleParams params;
+  params.num_txns = 4;
+  params.num_entities = 3;
+  params.max_actions_per_txn = 3;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Schedule s = generate_interleaved_schedule(params, rng);
+    const bool strict = strict_view_serializable(s).serializable;
+    const auto red = reduce_to_history(s);
+    if (!red.feasible) {
+      EXPECT_FALSE(strict) << s.to_string();
+      continue;
+    }
+    const auto mlin = core::check_m_linearizable(red.history);
+    ASSERT_TRUE(mlin.completed);
+    EXPECT_EQ(strict, mlin.admissible) << s.to_string();
+  }
+}
+
+TEST_P(ReductionAgreement, ViewSerializableIffMSequentiallyConsistent) {
+  util::Rng rng(GetParam() * 7907 + 3);
+  ScheduleParams params;
+  params.num_txns = 4;
+  params.num_entities = 2;
+  params.max_actions_per_txn = 3;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Schedule s = generate_interleaved_schedule(params, rng);
+    const bool view = view_serializable(s).serializable;
+    const auto red = reduce_to_history(s);
+    if (!red.feasible) {
+      EXPECT_FALSE(view) << s.to_string();
+      continue;
+    }
+    // m-SC drops real-time order, so the T-infinity reader must be pinned
+    // last explicitly (its reads encode the schedule's final writes).
+    auto base =
+        core::base_order(red.history, core::Condition::kMSequentialConsistency);
+    for (core::MOpId id = 0; id < red.history.size(); ++id) {
+      if (id != red.t_inf_mop) base.add(id, red.t_inf_mop);
+    }
+    const auto msc = core::check_admissible(red.history, base);
+    ASSERT_TRUE(msc.completed);
+    EXPECT_EQ(view, msc.admissible) << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mocc::txn
