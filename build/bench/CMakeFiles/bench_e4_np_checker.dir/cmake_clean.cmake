@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_np_checker.dir/bench_e4_np_checker.cpp.o"
+  "CMakeFiles/bench_e4_np_checker.dir/bench_e4_np_checker.cpp.o.d"
+  "bench_e4_np_checker"
+  "bench_e4_np_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_np_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

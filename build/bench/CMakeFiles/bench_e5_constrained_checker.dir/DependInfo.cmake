@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_constrained_checker.cpp" "bench/CMakeFiles/bench_e5_constrained_checker.dir/bench_e5_constrained_checker.cpp.o" "gcc" "bench/CMakeFiles/bench_e5_constrained_checker.dir/bench_e5_constrained_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/mocc_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/mocc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mocc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/mocc_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mocc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mocc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mscript/CMakeFiles/mocc_mscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

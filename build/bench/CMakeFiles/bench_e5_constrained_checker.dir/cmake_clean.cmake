@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_constrained_checker.dir/bench_e5_constrained_checker.cpp.o"
+  "CMakeFiles/bench_e5_constrained_checker.dir/bench_e5_constrained_checker.cpp.o.d"
+  "bench_e5_constrained_checker"
+  "bench_e5_constrained_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_constrained_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_asynchrony.dir/bench_e7_asynchrony.cpp.o"
+  "CMakeFiles/bench_e7_asynchrony.dir/bench_e7_asynchrony.cpp.o.d"
+  "bench_e7_asynchrony"
+  "bench_e7_asynchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_asynchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

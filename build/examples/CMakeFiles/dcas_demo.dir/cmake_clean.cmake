@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcas_demo.dir/dcas_demo.cpp.o"
+  "CMakeFiles/dcas_demo.dir/dcas_demo.cpp.o.d"
+  "dcas_demo"
+  "dcas_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcas_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abcast/abcast.cpp" "src/abcast/CMakeFiles/mocc_abcast.dir/abcast.cpp.o" "gcc" "src/abcast/CMakeFiles/mocc_abcast.dir/abcast.cpp.o.d"
+  "/root/repo/src/abcast/isis.cpp" "src/abcast/CMakeFiles/mocc_abcast.dir/isis.cpp.o" "gcc" "src/abcast/CMakeFiles/mocc_abcast.dir/isis.cpp.o.d"
+  "/root/repo/src/abcast/sequencer.cpp" "src/abcast/CMakeFiles/mocc_abcast.dir/sequencer.cpp.o" "gcc" "src/abcast/CMakeFiles/mocc_abcast.dir/sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

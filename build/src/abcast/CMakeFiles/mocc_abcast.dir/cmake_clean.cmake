@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_abcast.dir/abcast.cpp.o"
+  "CMakeFiles/mocc_abcast.dir/abcast.cpp.o.d"
+  "CMakeFiles/mocc_abcast.dir/isis.cpp.o"
+  "CMakeFiles/mocc_abcast.dir/isis.cpp.o.d"
+  "CMakeFiles/mocc_abcast.dir/sequencer.cpp.o"
+  "CMakeFiles/mocc_abcast.dir/sequencer.cpp.o.d"
+  "libmocc_abcast.a"
+  "libmocc_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_api.dir/system.cpp.o"
+  "CMakeFiles/mocc_api.dir/system.cpp.o.d"
+  "libmocc_api.a"
+  "libmocc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

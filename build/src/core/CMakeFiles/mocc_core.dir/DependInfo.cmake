@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admissibility.cpp" "src/core/CMakeFiles/mocc_core.dir/admissibility.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/admissibility.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/mocc_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/mocc_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/fast_check.cpp" "src/core/CMakeFiles/mocc_core.dir/fast_check.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/fast_check.cpp.o.d"
+  "/root/repo/src/core/generate.cpp" "src/core/CMakeFiles/mocc_core.dir/generate.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/generate.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/mocc_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/legality.cpp" "src/core/CMakeFiles/mocc_core.dir/legality.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/legality.cpp.o.d"
+  "/root/repo/src/core/moperation.cpp" "src/core/CMakeFiles/mocc_core.dir/moperation.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/moperation.cpp.o.d"
+  "/root/repo/src/core/relations.cpp" "src/core/CMakeFiles/mocc_core.dir/relations.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/relations.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/mocc_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/mocc_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mscript/CMakeFiles/mocc_mscript.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_core.dir/admissibility.cpp.o"
+  "CMakeFiles/mocc_core.dir/admissibility.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/audit.cpp.o"
+  "CMakeFiles/mocc_core.dir/audit.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/constraints.cpp.o"
+  "CMakeFiles/mocc_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/fast_check.cpp.o"
+  "CMakeFiles/mocc_core.dir/fast_check.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/generate.cpp.o"
+  "CMakeFiles/mocc_core.dir/generate.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/history.cpp.o"
+  "CMakeFiles/mocc_core.dir/history.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/legality.cpp.o"
+  "CMakeFiles/mocc_core.dir/legality.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/moperation.cpp.o"
+  "CMakeFiles/mocc_core.dir/moperation.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/relations.cpp.o"
+  "CMakeFiles/mocc_core.dir/relations.cpp.o.d"
+  "CMakeFiles/mocc_core.dir/serialize.cpp.o"
+  "CMakeFiles/mocc_core.dir/serialize.cpp.o.d"
+  "libmocc_core.a"
+  "libmocc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

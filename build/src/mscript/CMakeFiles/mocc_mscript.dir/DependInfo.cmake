@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mscript/builder.cpp" "src/mscript/CMakeFiles/mocc_mscript.dir/builder.cpp.o" "gcc" "src/mscript/CMakeFiles/mocc_mscript.dir/builder.cpp.o.d"
+  "/root/repo/src/mscript/library.cpp" "src/mscript/CMakeFiles/mocc_mscript.dir/library.cpp.o" "gcc" "src/mscript/CMakeFiles/mocc_mscript.dir/library.cpp.o.d"
+  "/root/repo/src/mscript/program.cpp" "src/mscript/CMakeFiles/mocc_mscript.dir/program.cpp.o" "gcc" "src/mscript/CMakeFiles/mocc_mscript.dir/program.cpp.o.d"
+  "/root/repo/src/mscript/vm.cpp" "src/mscript/CMakeFiles/mocc_mscript.dir/vm.cpp.o" "gcc" "src/mscript/CMakeFiles/mocc_mscript.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

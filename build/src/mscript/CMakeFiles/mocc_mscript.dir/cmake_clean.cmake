@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_mscript.dir/builder.cpp.o"
+  "CMakeFiles/mocc_mscript.dir/builder.cpp.o.d"
+  "CMakeFiles/mocc_mscript.dir/library.cpp.o"
+  "CMakeFiles/mocc_mscript.dir/library.cpp.o.d"
+  "CMakeFiles/mocc_mscript.dir/program.cpp.o"
+  "CMakeFiles/mocc_mscript.dir/program.cpp.o.d"
+  "CMakeFiles/mocc_mscript.dir/vm.cpp.o"
+  "CMakeFiles/mocc_mscript.dir/vm.cpp.o.d"
+  "libmocc_mscript.a"
+  "libmocc_mscript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_mscript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mocc_mscript.
+# This may be replaced when dependencies are built.

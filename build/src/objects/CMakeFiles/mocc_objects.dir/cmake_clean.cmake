@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_objects.dir/objects.cpp.o"
+  "CMakeFiles/mocc_objects.dir/objects.cpp.o.d"
+  "libmocc_objects.a"
+  "libmocc_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

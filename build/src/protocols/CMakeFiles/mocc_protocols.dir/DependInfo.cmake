@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/locking_replica.cpp" "src/protocols/CMakeFiles/mocc_protocols.dir/locking_replica.cpp.o" "gcc" "src/protocols/CMakeFiles/mocc_protocols.dir/locking_replica.cpp.o.d"
+  "/root/repo/src/protocols/mlin_replica.cpp" "src/protocols/CMakeFiles/mocc_protocols.dir/mlin_replica.cpp.o" "gcc" "src/protocols/CMakeFiles/mocc_protocols.dir/mlin_replica.cpp.o.d"
+  "/root/repo/src/protocols/mseq_replica.cpp" "src/protocols/CMakeFiles/mocc_protocols.dir/mseq_replica.cpp.o" "gcc" "src/protocols/CMakeFiles/mocc_protocols.dir/mseq_replica.cpp.o.d"
+  "/root/repo/src/protocols/recorder.cpp" "src/protocols/CMakeFiles/mocc_protocols.dir/recorder.cpp.o" "gcc" "src/protocols/CMakeFiles/mocc_protocols.dir/recorder.cpp.o.d"
+  "/root/repo/src/protocols/workload.cpp" "src/protocols/CMakeFiles/mocc_protocols.dir/workload.cpp.o" "gcc" "src/protocols/CMakeFiles/mocc_protocols.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abcast/CMakeFiles/mocc_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mocc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mscript/CMakeFiles/mocc_mscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

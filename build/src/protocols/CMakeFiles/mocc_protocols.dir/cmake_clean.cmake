@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_protocols.dir/locking_replica.cpp.o"
+  "CMakeFiles/mocc_protocols.dir/locking_replica.cpp.o.d"
+  "CMakeFiles/mocc_protocols.dir/mlin_replica.cpp.o"
+  "CMakeFiles/mocc_protocols.dir/mlin_replica.cpp.o.d"
+  "CMakeFiles/mocc_protocols.dir/mseq_replica.cpp.o"
+  "CMakeFiles/mocc_protocols.dir/mseq_replica.cpp.o.d"
+  "CMakeFiles/mocc_protocols.dir/recorder.cpp.o"
+  "CMakeFiles/mocc_protocols.dir/recorder.cpp.o.d"
+  "CMakeFiles/mocc_protocols.dir/workload.cpp.o"
+  "CMakeFiles/mocc_protocols.dir/workload.cpp.o.d"
+  "libmocc_protocols.a"
+  "libmocc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

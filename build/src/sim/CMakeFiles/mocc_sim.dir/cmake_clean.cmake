@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_sim.dir/delay.cpp.o"
+  "CMakeFiles/mocc_sim.dir/delay.cpp.o.d"
+  "CMakeFiles/mocc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mocc_sim.dir/simulator.cpp.o.d"
+  "libmocc_sim.a"
+  "libmocc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

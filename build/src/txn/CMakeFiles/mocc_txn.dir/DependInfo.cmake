@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/generate.cpp" "src/txn/CMakeFiles/mocc_txn.dir/generate.cpp.o" "gcc" "src/txn/CMakeFiles/mocc_txn.dir/generate.cpp.o.d"
+  "/root/repo/src/txn/reduction.cpp" "src/txn/CMakeFiles/mocc_txn.dir/reduction.cpp.o" "gcc" "src/txn/CMakeFiles/mocc_txn.dir/reduction.cpp.o.d"
+  "/root/repo/src/txn/schedule.cpp" "src/txn/CMakeFiles/mocc_txn.dir/schedule.cpp.o" "gcc" "src/txn/CMakeFiles/mocc_txn.dir/schedule.cpp.o.d"
+  "/root/repo/src/txn/serializability.cpp" "src/txn/CMakeFiles/mocc_txn.dir/serializability.cpp.o" "gcc" "src/txn/CMakeFiles/mocc_txn.dir/serializability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mocc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mscript/CMakeFiles/mocc_mscript.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_txn.dir/generate.cpp.o"
+  "CMakeFiles/mocc_txn.dir/generate.cpp.o.d"
+  "CMakeFiles/mocc_txn.dir/reduction.cpp.o"
+  "CMakeFiles/mocc_txn.dir/reduction.cpp.o.d"
+  "CMakeFiles/mocc_txn.dir/schedule.cpp.o"
+  "CMakeFiles/mocc_txn.dir/schedule.cpp.o.d"
+  "CMakeFiles/mocc_txn.dir/serializability.cpp.o"
+  "CMakeFiles/mocc_txn.dir/serializability.cpp.o.d"
+  "libmocc_txn.a"
+  "libmocc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmocc_txn.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocc_util.dir/bytes.cpp.o"
+  "CMakeFiles/mocc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/cli.cpp.o"
+  "CMakeFiles/mocc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/log.cpp.o"
+  "CMakeFiles/mocc_util.dir/log.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/relation.cpp.o"
+  "CMakeFiles/mocc_util.dir/relation.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/rng.cpp.o"
+  "CMakeFiles/mocc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/stats.cpp.o"
+  "CMakeFiles/mocc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/table.cpp.o"
+  "CMakeFiles/mocc_util.dir/table.cpp.o.d"
+  "CMakeFiles/mocc_util.dir/timestamp.cpp.o"
+  "CMakeFiles/mocc_util.dir/timestamp.cpp.o.d"
+  "libmocc_util.a"
+  "libmocc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscript_test.dir/mscript_test.cpp.o"
+  "CMakeFiles/mscript_test.dir/mscript_test.cpp.o.d"
+  "mscript_test"
+  "mscript_test.pdb"
+  "mscript_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
