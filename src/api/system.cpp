@@ -85,15 +85,22 @@ void System::submit(core::ProcessId process, sim::SimTime at, mscript::Program p
                                            std::move(on_response)});
 
   // Pump closure: issues the head item once the process is idle and the
-  // item's requested time has arrived.
+  // item's requested time has arrived. The stored function refers to
+  // itself only through a weak_ptr — capturing `pump` directly would form
+  // a shared_ptr cycle and leak every pending closure (LeakSanitizer
+  // finding); strong references live solely in scheduled events and the
+  // replica's in-flight callback, so the chain frees once it drains.
   auto pump = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_pump = pump;
   protocols::Replica* replica = replicas_[process];
   sim::Simulator* simulator = sim_.get();
-  *pump = [queue, pump, replica, simulator, process]() {
+  *pump = [queue, weak_pump, replica, simulator, process]() {
+    auto self = weak_pump.lock();
+    MOCC_ASSERT_MSG(self != nullptr, "pump ran without a live self-reference");
     if (queue->busy || queue->items.empty()) return;
     const sim::SimTime start_at = std::max(queue->items.front().at, queue->not_before);
     if (start_at > simulator->now()) {
-      simulator->schedule_call(start_at, [pump] { (*pump)(); });
+      simulator->schedule_call(start_at, [self] { (*self)(); });
       return;
     }
     SubmitQueue::Item item = std::move(queue->items.front());
@@ -102,7 +109,7 @@ void System::submit(core::ProcessId process, sim::SimTime at, mscript::Program p
     sim::Context ctx(*simulator, static_cast<sim::NodeId>(process));
     auto callback = std::move(item.on_response);
     replica->invoke(ctx, std::move(item.program),
-                    [queue, pump, simulator, callback](
+                    [queue, self, simulator, callback](
                         const protocols::InvocationOutcome& outcome) {
                       queue->busy = false;
                       // ≥1 tick of local step time before the process's
@@ -112,7 +119,7 @@ void System::submit(core::ProcessId process, sim::SimTime at, mscript::Program p
                       queue->not_before = simulator->now() + 1;
                       if (callback) callback(outcome);
                       simulator->schedule_call(simulator->now() + 1,
-                                               [pump] { (*pump)(); });
+                                               [self] { (*self)(); });
                     });
   };
   sim_->schedule_call(std::max(at, sim_->now() + 1), [pump] { (*pump)(); });

@@ -17,6 +17,7 @@ core::MOpId ExecutionRecorder::begin(core::ProcessId process, std::string label,
   record.process = process;
   record.label = std::move(label);
   record.invoke = invoke;
+  std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
   return static_cast<core::MOpId>(records_.size() - 1);
 }
@@ -24,6 +25,7 @@ core::MOpId ExecutionRecorder::begin(core::ProcessId process, std::string label,
 void ExecutionRecorder::complete(core::MOpId id, std::vector<core::Operation> ops,
                                  core::Time response, util::VersionVector timestamp,
                                  std::optional<std::uint64_t> ww_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   MOCC_ASSERT(id < records_.size());
   InvocationRecord& record = records_[id];
   MOCC_ASSERT_MSG(!record.completed, "double completion");
@@ -34,20 +36,33 @@ void ExecutionRecorder::complete(core::MOpId id, std::vector<core::Operation> op
   record.completed = true;
 }
 
-bool ExecutionRecorder::all_completed() const {
+std::size_t ExecutionRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+bool ExecutionRecorder::all_completed_locked() const {
   for (const auto& record : records_) {
     if (!record.completed) return false;
   }
   return true;
 }
 
+bool ExecutionRecorder::all_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_completed_locked();
+}
+
 const InvocationRecord& ExecutionRecorder::record(core::MOpId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   MOCC_ASSERT(id < records_.size());
   return records_[id];
 }
 
 core::History ExecutionRecorder::build_history() const {
-  MOCC_ASSERT_MSG(all_completed(), "cannot build history with outstanding invocations");
+  std::lock_guard<std::mutex> lock(mu_);
+  MOCC_ASSERT_MSG(all_completed_locked(),
+                  "cannot build history with outstanding invocations");
   core::History h(num_processes_, num_objects_);
   for (const auto& record : records_) {
     h.add(core::MOperation(record.process, record.ops, record.invoke, record.response,
@@ -56,7 +71,7 @@ core::History ExecutionRecorder::build_history() const {
   return h;
 }
 
-util::BitRelation ExecutionRecorder::build_ww_order() const {
+util::BitRelation ExecutionRecorder::build_ww_order_locked() const {
   util::BitRelation ww(records_.size());
   std::vector<std::pair<std::uint64_t, core::MOpId>> updates;
   for (core::MOpId id = 0; id < records_.size(); ++id) {
@@ -71,8 +86,14 @@ util::BitRelation ExecutionRecorder::build_ww_order() const {
   return ww;
 }
 
+util::BitRelation ExecutionRecorder::build_ww_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_ww_order_locked();
+}
+
 core::ProtocolTrace ExecutionRecorder::build_trace(const core::History& h,
                                                    bool include_process_order) const {
+  std::lock_guard<std::mutex> lock(mu_);
   MOCC_ASSERT(h.size() == records_.size());
   core::ProtocolTrace trace;
   trace.sync_order = core::reads_from_order(h);
@@ -81,7 +102,7 @@ core::ProtocolTrace ExecutionRecorder::build_trace(const core::History& h,
   } else {
     trace.sync_order.merge(core::real_time_order(h));  // Figure 6: ~rf ∪ ~t ∪ ~ww
   }
-  trace.sync_order.merge(build_ww_order());
+  trace.sync_order.merge(build_ww_order_locked());
   trace.timestamps.reserve(records_.size());
   trace.is_update.reserve(records_.size());
   for (const auto& record : records_) {

@@ -12,14 +12,25 @@
 // by replicas' last-writer tables before their origin records the
 // response) and the history materializes ops in id order, which preserves
 // per-process program order because drivers are closed-loop.
+//
+// Thread safety: a recorder is shared by every replica of one execution,
+// and parallel drivers (sim::ParallelRunner) may in addition share one
+// recorder across concurrently-simulated process groups, so all state is
+// behind an internal mutex with Clang thread-safety annotations. Records
+// live in a deque: begin() never relocates existing records, so the
+// reference record() returns stays valid across concurrent begins (each
+// record is written once by complete() and read only afterwards).
 #pragma once
 
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/audit.hpp"
 #include "core/history.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timestamp.hpp"
 
 namespace mocc::protocols {
@@ -42,35 +53,42 @@ class ExecutionRecorder {
   ExecutionRecorder(std::size_t num_processes, std::size_t num_objects);
 
   /// Reserves an id at invocation time.
-  core::MOpId begin(core::ProcessId process, std::string label, core::Time invoke);
+  core::MOpId begin(core::ProcessId process, std::string label, core::Time invoke)
+      MOCC_EXCLUDES(mu_);
 
   void complete(core::MOpId id, std::vector<core::Operation> ops, core::Time response,
                 util::VersionVector timestamp,
-                std::optional<std::uint64_t> ww_seq);
+                std::optional<std::uint64_t> ww_seq) MOCC_EXCLUDES(mu_);
 
-  std::size_t size() const { return records_.size(); }
-  bool all_completed() const;
-  const InvocationRecord& record(core::MOpId id) const;
+  std::size_t size() const MOCC_EXCLUDES(mu_);
+  bool all_completed() const MOCC_EXCLUDES(mu_);
+  /// The returned reference is stable (deque) but its fields must not be
+  /// read until the m-operation completed.
+  const InvocationRecord& record(core::MOpId id) const MOCC_EXCLUDES(mu_);
 
   /// Builds the history of completed m-operations. Aborts if any
   /// invocation is still outstanding (drivers drain before building).
-  core::History build_history() const;
+  core::History build_history() const MOCC_EXCLUDES(mu_);
 
   /// Builds the audit trace. `include_process_order` selects the Figure-4
   /// definition of ~>H− (D5.3: ~P ∪ ~rf ∪ ~ww) versus Figure-6's
   /// (D5.8: ~rf ∪ ~t ∪ ~ww).
   core::ProtocolTrace build_trace(const core::History& h,
-                                  bool include_process_order) const;
+                                  bool include_process_order) const MOCC_EXCLUDES(mu_);
 
   /// Just the atomic broadcast order ~ww over updates (the explicit
   /// synchronization a Theorem-7 fast check needs on top of the
   /// condition's base order).
-  util::BitRelation build_ww_order() const;
+  util::BitRelation build_ww_order() const MOCC_EXCLUDES(mu_);
 
  private:
+  bool all_completed_locked() const MOCC_REQUIRES(mu_);
+  util::BitRelation build_ww_order_locked() const MOCC_REQUIRES(mu_);
+
   std::size_t num_processes_;
   std::size_t num_objects_;
-  std::vector<InvocationRecord> records_;
+  mutable std::mutex mu_;
+  std::deque<InvocationRecord> records_ MOCC_GUARDED_BY(mu_);
 };
 
 }  // namespace mocc::protocols

@@ -1,0 +1,61 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mocc::sim {
+
+ParallelRunner::ParallelRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+void ParallelRunner::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+bool ParallelRunner::has_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_ != nullptr;
+}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    first_error_ = nullptr;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count || has_error()) return;
+      try {
+        job(index);
+      } catch (...) {
+        record_error(std::current_exception());
+        return;
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(std::max<std::size_t>(1, threads_), std::max<std::size_t>(1, count));
+  if (pool == 1) {
+    // Degenerate pool: run inline; keeps single-threaded debugging simple.
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+  }
+
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace mocc::sim

@@ -1,0 +1,52 @@
+// Parallel experiment driver.
+//
+// A single simulation is deterministic and single-threaded by design
+// (sim/simulator.hpp), but experiment sweeps and property tests run many
+// independent simulations — one per seed, protocol, or parameter point —
+// and those parallelize perfectly. ParallelRunner fans a job list out
+// over a fixed pool of std::threads: jobs are claimed from an atomic
+// counter (no per-job scheduling overhead), the first exception is
+// captured under an annotated mutex and rethrown on the caller's thread,
+// and the pool joins before run() returns, so the caller observes fully
+// sequential semantics at the call site.
+//
+// Everything a job touches must be job-local or thread-safe; within this
+// codebase the shared pieces are the Logger and (optionally) an
+// ExecutionRecorder, both internally synchronized and annotated. The
+// `tsan` preset relies on this class to give ThreadSanitizer real
+// concurrency to examine (tests/parallel_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mocc::sim {
+
+class ParallelRunner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ParallelRunner(std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Runs job(0) ... job(count-1) across the pool and returns when every
+  /// job finished. If any job throws, the first exception (in completion
+  /// order) is rethrown here after all threads joined; remaining jobs may
+  /// be skipped.
+  void run(std::size_t count, const std::function<void(std::size_t)>& job)
+      MOCC_EXCLUDES(error_mu_);
+
+ private:
+  void record_error(std::exception_ptr error) MOCC_EXCLUDES(error_mu_);
+  bool has_error() const MOCC_EXCLUDES(error_mu_);
+
+  std::size_t threads_;
+  mutable std::mutex error_mu_;
+  std::exception_ptr first_error_ MOCC_GUARDED_BY(error_mu_);
+};
+
+}  // namespace mocc::sim

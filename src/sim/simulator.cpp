@@ -49,6 +49,21 @@ void Simulator::schedule_call(SimTime time, std::function<void()> fn) {
   queue_.push(std::move(event));
 }
 
+void Simulator::post(std::function<void()> fn) {
+  MOCC_ASSERT(fn != nullptr);
+  std::lock_guard<std::mutex> lock(post_mu_);
+  posted_.push_back(std::move(fn));
+}
+
+void Simulator::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) schedule_call(now_, std::move(fn));
+}
+
 void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
                      std::vector<std::uint8_t> payload) {
   MOCC_ASSERT(from < actors_.size() && to < actors_.size());
@@ -103,7 +118,9 @@ SimTime Simulator::run(SimTime max_time) {
       actors_[id]->on_start(ctx);
     }
   }
-  while (!queue_.empty()) {
+  for (;;) {
+    drain_posted();
+    if (queue_.empty()) break;
     // Check the deadline BEFORE popping so a paused run can resume
     // without losing the event at the horizon.
     if (max_time != 0 && queue_.top().time > max_time) {

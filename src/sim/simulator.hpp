@@ -18,11 +18,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "sim/delay.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mocc::sim {
 
@@ -86,7 +88,16 @@ class Simulator {
   Actor& actor(NodeId id);
 
   /// Schedules an external closure (workload injection) at `time`.
+  /// NOT thread-safe: call from the simulation thread only (between
+  /// run() slices or from inside a dispatched event).
   void schedule_call(SimTime time, std::function<void()> fn);
+
+  /// Thread-safe workload injection: queues a closure from ANY thread;
+  /// run() drains posted closures at the next event boundary and executes
+  /// them at the current virtual time on the simulation thread. This is
+  /// the only cross-thread entry point — everything else on Simulator is
+  /// confined to the simulation thread.
+  void post(std::function<void()> fn) MOCC_EXCLUDES(post_mu_);
 
   /// Runs until the event queue drains or `max_time` passes (0 = no
   /// limit). Returns the final virtual time.
@@ -120,6 +131,12 @@ class Simulator {
   };
 
   void dispatch(const Event& event);
+  /// Moves everything in posted_ into the event queue at virtual time
+  /// now_ (in posting order). Runs on the simulation thread.
+  void drain_posted() MOCC_EXCLUDES(post_mu_);
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_ MOCC_GUARDED_BY(post_mu_);
 
   std::unique_ptr<DelayModel> delay_;
   util::Rng rng_;

@@ -5,11 +5,40 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/thread_annotations.hpp"
+
 namespace mocc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mutex;
+
+/// The write end of the logger. One mutex serializes whole lines and
+/// guards the redirectable stream pointer; Clang's -Wthread-safety
+/// verifies every access goes through it.
+class Sink {
+ public:
+  void write(const char* level, const std::string& message) MOCC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE* stream = out_ != nullptr ? out_ : stderr;
+    std::fprintf(stream, "[%s] %s\n", level, message.c_str());
+  }
+
+  void set_stream(std::FILE* stream) MOCC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ = stream;
+  }
+
+ private:
+  std::mutex mu_;
+  /// nullptr means stderr (resolved at write time: stderr is not a
+  /// constant expression, so it cannot be a default member initializer).
+  std::FILE* out_ MOCC_GUARDED_BY(mu_) = nullptr;
+};
+
+Sink& sink() {
+  static Sink instance;
+  return instance;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -41,8 +70,9 @@ void Logger::init_from_env() {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  sink().write(level_name(level), message);
 }
+
+void Logger::set_stream(std::FILE* stream) { sink().set_stream(stream); }
 
 }  // namespace mocc::util

@@ -2,10 +2,12 @@
 //
 // Off by default below `warn`; simulator traces use `debug` and are enabled
 // per-run (MOCC_LOG=debug or Logger::set_level). Logging is process-global
-// and intentionally unsynchronized beyond a mutex around the final write —
-// the simulator is single-threaded and bench binaries log only summaries.
+// and thread-safe: the level is an atomic and the sink (stream pointer +
+// the write itself) sits behind a Clang-annotated mutex, so parallel
+// simulations (sim::ParallelRunner) can log concurrently.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -22,6 +24,12 @@ class Logger {
   static void init_from_env();
 
   static void write(LogLevel level, const std::string& message);
+
+  /// Redirects log output (nullptr restores stderr). The caller keeps
+  /// ownership of the stream and must keep it open until the next
+  /// set_stream. Thread-safe; meant for tests that exercise concurrent
+  /// logging without spamming the terminal.
+  static void set_stream(std::FILE* stream);
 };
 
 namespace detail {

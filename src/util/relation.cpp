@@ -9,17 +9,21 @@ namespace mocc::util {
 BitRelation::BitRelation(std::size_t n) : n_(n), bits_(n * ((n + 63) / 64), 0) {}
 
 void BitRelation::add(std::size_t from, std::size_t to) {
-  MOCC_ASSERT(from < n_ && to < n_);
+  MOCC_ASSERT_MSG(from < n_ && to < n_,
+                  "BitRelation::add: index outside the universe");
   row(from)[to / 64] |= (std::uint64_t{1} << (to % 64));
 }
 
 bool BitRelation::has(std::size_t from, std::size_t to) const {
-  MOCC_ASSERT(from < n_ && to < n_);
+  MOCC_ASSERT_MSG(from < n_ && to < n_,
+                  "BitRelation::has: index outside the universe");
   return (row(from)[to / 64] >> (to % 64)) & 1U;
 }
 
 void BitRelation::merge(const BitRelation& other) {
-  MOCC_ASSERT(n_ == other.n_);
+  MOCC_ASSERT_MSG(n_ == other.n_,
+                  "BitRelation::merge: universe sizes disagree");
+  MOCC_DEBUG_ASSERT(bits_.size() == other.bits_.size());
   for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
 }
 
@@ -90,6 +94,7 @@ std::optional<std::vector<std::size_t>> BitRelation::topological_order() const {
 }
 
 std::vector<std::size_t> BitRelation::successors(std::size_t from) const {
+  MOCC_ASSERT_MSG(from < n_, "BitRelation::successors: index outside the universe");
   std::vector<std::size_t> out;
   for (std::size_t j = 0; j < n_; ++j) {
     if (has(from, j)) out.push_back(j);
@@ -98,6 +103,7 @@ std::vector<std::size_t> BitRelation::successors(std::size_t from) const {
 }
 
 std::vector<std::size_t> BitRelation::predecessors(std::size_t to) const {
+  MOCC_ASSERT_MSG(to < n_, "BitRelation::predecessors: index outside the universe");
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < n_; ++i) {
     if (has(i, to)) out.push_back(i);

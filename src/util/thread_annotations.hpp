@@ -1,0 +1,76 @@
+// Clang thread-safety analysis annotations.
+//
+// Wrappers over Clang's `-Wthread-safety` attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang
+// the macros expand to the corresponding `__attribute__((...))`; under
+// every other compiler they expand to nothing, so annotated code stays
+// portable. The analysis is enabled automatically by the build
+// (`-Wthread-safety` on `mocc_options` when the compiler is Clang) and
+// promoted to an error with `MOCC_WERROR=ON`.
+//
+// Conventions in this codebase:
+//   * every mutex-protected member is declared `MOCC_GUARDED_BY(mu_)`;
+//   * public entry points that take the lock are `MOCC_EXCLUDES(mu_)`;
+//   * private helpers that expect the caller to hold the lock are
+//     suffixed `_locked` and declared `MOCC_REQUIRES(mu_)`;
+//   * all locking is RAII (`std::lock_guard` / `std::unique_lock`) —
+//     there are no raw lock()/unlock() call sites.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MOCC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MOCC_THREAD_ANNOTATION
+#define MOCC_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex wrapper).
+#define MOCC_CAPABILITY(x) MOCC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability for its lifetime.
+#define MOCC_SCOPED_CAPABILITY MOCC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define MOCC_GUARDED_BY(x) MOCC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the given mutex.
+#define MOCC_PT_GUARDED_BY(x) MOCC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the mutex(es).
+#define MOCC_REQUIRES(...) \
+  MOCC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the caller to hold the mutex(es) in shared mode.
+#define MOCC_REQUIRES_SHARED(...) \
+  MOCC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and does not release before returning.
+#define MOCC_ACQUIRE(...) \
+  MOCC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) held on entry.
+#define MOCC_RELEASE(...) \
+  MOCC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the mutex(es) held (it takes them
+/// itself); catches self-deadlock at compile time.
+#define MOCC_EXCLUDES(...) MOCC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success value.
+#define MOCC_TRY_ACQUIRE(...) \
+  MOCC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the given mutex.
+#define MOCC_RETURN_CAPABILITY(x) MOCC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts at runtime that the capability is held (for code the static
+/// analysis cannot follow, e.g. callbacks).
+#define MOCC_ASSERT_CAPABILITY(x) \
+  MOCC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the analysis cannot see the invariant.
+#define MOCC_NO_THREAD_SAFETY_ANALYSIS \
+  MOCC_THREAD_ANNOTATION(no_thread_safety_analysis)

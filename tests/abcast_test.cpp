@@ -94,8 +94,8 @@ TEST_P(AbcastProperties, ValidityAgreementTotalOrder) {
 
 std::vector<Params> make_params() {
   std::vector<Params> all;
-  for (const std::string& algorithm : {"sequencer", "isis"}) {
-    for (const std::string& delay : {"constant", "lan", "reorder", "exponential"}) {
+  for (const char* algorithm : {"sequencer", "isis"}) {
+    for (const char* delay : {"constant", "lan", "reorder", "exponential"}) {
       for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
         all.push_back(Params{algorithm, delay, seed, 4, 5});
       }

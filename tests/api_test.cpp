@@ -219,17 +219,17 @@ TEST_P(ConsistencySweep, EveryProtocolMeetsItsClaimedCondition) {
 
 std::vector<SweepParams> sweep_params() {
   std::vector<SweepParams> all;
-  for (const std::string& protocol : {"mseq", "mlin", "mlin-narrow", "mlin-bcastq"}) {
-    for (const std::string& broadcast : {"sequencer", "isis"}) {
-      for (const std::string& delay : {"lan", "reorder"}) {
+  for (const char* protocol : {"mseq", "mlin", "mlin-narrow", "mlin-bcastq"}) {
+    for (const char* broadcast : {"sequencer", "isis"}) {
+      for (const char* delay : {"lan", "reorder"}) {
         for (std::uint64_t seed : {1ULL, 2ULL}) {
           all.push_back(SweepParams{protocol, broadcast, delay, seed});
         }
       }
     }
   }
-  for (const std::string& protocol : {"locking", "aggregate"}) {
-    for (const std::string& delay : {"lan", "reorder"}) {
+  for (const char* protocol : {"locking", "aggregate"}) {
+    for (const char* delay : {"lan", "reorder"}) {
       for (std::uint64_t seed : {1ULL, 2ULL}) {
         all.push_back(SweepParams{protocol, "sequencer", delay, seed});
       }

@@ -185,6 +185,39 @@ TEST(AuditMutation, CyclicSyncOrderReported) {
   FAIL() << "no edge found";
 }
 
+TEST(AuditMutation, CorruptedSyncOrderRejected) {
+  // Deliberately corrupt the recorded synchronization order wholesale:
+  // replace ~>H− with its converse (every edge reversed). The converse
+  // still relates the same pairs, so this models a protocol whose
+  // bookkeeping is systematically wrong rather than merely incomplete.
+  // The audit must reject it — the reversed ~ww contradicts the recorded
+  // timestamps (P5.2/P5.3) and reads-from legality.
+  Recorded r = record();
+  const std::size_t n = r.history.size();
+  util::BitRelation reversed(n);
+  for (MOpId a = 0; a < n; ++a) {
+    for (MOpId b = 0; b < n; ++b) {
+      if (r.trace.sync_order.has(a, b)) reversed.add(b, a);
+    }
+  }
+  ASSERT_EQ(reversed.pair_count(), r.trace.sync_order.pair_count());
+  r.trace.sync_order = reversed;
+  const auto report = audit_protocol_execution(r.history, r.trace);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(AuditMutation, EmptiedSyncOrderRejected) {
+  // The other direction of corruption: drop every recorded edge. The
+  // required ~ww edges between broadcast updates are then missing, which
+  // P5.2 pins down by name.
+  Recorded r = record();
+  r.trace.sync_order = util::BitRelation(r.history.size());
+  const auto report = audit_protocol_execution(r.history, r.trace);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(audit_mentions(report, "P5.2")) << report.to_string();
+}
+
 TEST(AuditMutation, P51CatchesFabricatedQueryOrder) {
   // Two real-time-overlapping queries ordered in the sync relation: the
   // protocols never do this (queries are ordered only by ~t), so the

@@ -234,8 +234,12 @@ TEST_P(GeneratedAdmissible, PerturbationUsuallyDetected) {
   const bool mlin = check_m_linearizable(h).admissible;
   const bool mnorm = check_m_normal(h).admissible;
   const bool msc = check_m_sequentially_consistent(h).admissible;
-  if (mlin) EXPECT_TRUE(mnorm);
-  if (mnorm) EXPECT_TRUE(msc);
+  if (mlin) {
+    EXPECT_TRUE(mnorm);
+  }
+  if (mnorm) {
+    EXPECT_TRUE(msc);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedAdmissible,

@@ -174,7 +174,9 @@ TEST_F(Figure3, S1IsSequentialButNotLegal) {
   for (std::size_t i = 0; i < s1.size(); ++i) pos[s1[i]] = i;
   for (MOpId a = 0; a < h.size(); ++a) {
     for (MOpId b = 0; b < h.size(); ++b) {
-      if (a != b && closed.has(a, b)) EXPECT_LT(pos[a], pos[b]);
+      if (a != b && closed.has(a, b)) {
+        EXPECT_LT(pos[a], pos[b]);
+      }
     }
   }
   // ...but not legal:

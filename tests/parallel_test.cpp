@@ -1,0 +1,242 @@
+// The concurrency boundary under real threads: sim::ParallelRunner,
+// cross-thread Simulator::post injection, the internally synchronized
+// ExecutionRecorder, and concurrent logging. These tests are what give
+// the `tsan` preset (ThreadSanitizer) actual thread interleavings to
+// examine — a single simulation is deliberately single-threaded.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/system.hpp"
+#include "core/moperation.hpp"
+#include "protocols/recorder.hpp"
+#include "sim/delay.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace mocc {
+namespace {
+
+using api::System;
+using api::SystemConfig;
+
+// ------------------------------------------------------- ParallelRunner
+
+TEST(ParallelRunner, RunsEveryJobExactlyOnce) {
+  sim::ParallelRunner runner(4);
+  constexpr std::size_t kJobs = 257;
+  std::vector<std::atomic<int>> hits(kJobs);
+  runner.run(kJobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelRunner, ZeroJobsIsANoop) {
+  sim::ParallelRunner runner(4);
+  runner.run(0, [](std::size_t) { FAIL() << "job ran"; });
+}
+
+TEST(ParallelRunner, SingleThreadPoolRunsInline) {
+  sim::ParallelRunner runner(1);
+  EXPECT_EQ(runner.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  runner.run(3, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ParallelRunner, PropagatesFirstException) {
+  sim::ParallelRunner runner(4);
+  EXPECT_THROW(
+      runner.run(64,
+                 [](std::size_t i) {
+                   if (i % 7 == 3) throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+  // The runner is reusable after a failed run.
+  std::atomic<std::size_t> ran{0};
+  runner.run(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8u);
+}
+
+// ------------------------------------- parallel end-to-end simulations
+
+/// Redirects the logger to /dev/null and cranks the level to debug for
+/// the test's lifetime, so concurrent simulations hammer the logging
+/// mutex without spamming the terminal.
+class NoisyLogCapture {
+ public:
+  NoisyLogCapture() : devnull_(std::fopen("/dev/null", "w")) {
+    if (devnull_ != nullptr) util::Logger::set_stream(devnull_);
+    previous_level_ = util::Logger::level();
+    util::Logger::set_level(util::LogLevel::kDebug);
+  }
+  ~NoisyLogCapture() {
+    util::Logger::set_level(previous_level_);
+    util::Logger::set_stream(nullptr);
+    if (devnull_ != nullptr) std::fclose(devnull_);
+  }
+
+ private:
+  std::FILE* devnull_;
+  util::LogLevel previous_level_ = util::LogLevel::kWarn;
+};
+
+TEST(ParallelSimulations, AuditStaysCleanAcrossProtocolsSeedsAndThreads) {
+  NoisyLogCapture quiet;
+  struct Point {
+    const char* protocol;
+    const char* broadcast;
+    std::uint64_t seed;
+  };
+  std::vector<Point> grid;
+  for (const char* protocol : {"mseq", "mlin", "mlin-narrow"}) {
+    for (const char* broadcast : {"sequencer", "isis"}) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        grid.push_back({protocol, broadcast, seed});
+      }
+    }
+  }
+
+  sim::ParallelRunner runner(4);
+  std::atomic<std::size_t> clean{0};
+  runner.run(grid.size(), [&](std::size_t i) {
+    SystemConfig config;
+    config.num_processes = 3;
+    config.num_objects = 4;
+    config.protocol = grid[i].protocol;
+    config.broadcast = grid[i].broadcast;
+    config.delay = "reorder";
+    config.seed = grid[i].seed;
+    System system(config);
+    protocols::WorkloadParams params;
+    params.ops_per_process = 10;
+    params.update_ratio = 0.5;
+    system.run_workload(params);
+    const auto audit = system.audit();
+    EXPECT_TRUE(audit.ok) << grid[i].protocol << "/" << grid[i].broadcast << " seed "
+                          << grid[i].seed << "\n"
+                          << audit.to_string();
+    if (audit.ok) clean.fetch_add(1);
+  });
+  EXPECT_EQ(clean.load(), grid.size());
+}
+
+// ------------------------------------------------- shared recorder
+
+TEST(RecorderConcurrency, BeginAndCompleteFromManyThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 200;
+  protocols::ExecutionRecorder recorder(kThreads, /*num_objects=*/2);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t]() {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const auto id = recorder.begin(static_cast<core::ProcessId>(t), "op",
+                                       /*invoke=*/core::Time{2 * i});
+        std::vector<core::Operation> ops;
+        ops.push_back(core::Operation::read(0, 0, core::kInitialMOp));
+        recorder.complete(id, std::move(ops), /*response=*/core::Time{2 * i + 1},
+                          util::VersionVector(2), std::nullopt);
+        // The deque keeps references stable across concurrent begins.
+        EXPECT_TRUE(recorder.record(id).completed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.size(), kThreads * kOpsPerThread);
+  EXPECT_TRUE(recorder.all_completed());
+  EXPECT_EQ(recorder.build_history().size(), kThreads * kOpsPerThread);
+}
+
+// ------------------------------------------------- Simulator::post
+
+class CountingActor final : public sim::Actor {
+ public:
+  void on_message(sim::Context&, const sim::Message&) override { ++messages_; }
+  int messages() const { return messages_; }
+
+ private:
+  int messages_ = 0;
+};
+
+TEST(SimulatorPost, ClosuresPostedBeforeRunExecuteOnTheSimThread) {
+  sim::Simulator sim(std::make_unique<sim::ConstantDelay>(1), /*seed=*/7);
+  sim.add_node(std::make_unique<CountingActor>());
+  int ran = 0;
+  const auto sim_thread = std::this_thread::get_id();
+  sim.post([&]() {
+    ++ran;
+    EXPECT_EQ(std::this_thread::get_id(), sim_thread);
+  });
+  sim.post([&]() { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorPost, InjectionRacesAgainstARunningSimulation) {
+  sim::Simulator sim(std::make_unique<sim::ConstantDelay>(1), /*seed=*/11);
+  const auto node = sim.add_node(std::make_unique<CountingActor>());
+
+  constexpr std::size_t kPosters = 4;
+  constexpr std::size_t kPostsEach = 50;
+  // Non-atomic on purpose: posted closures run on the simulation thread
+  // only, so this never races — ThreadSanitizer verifies that claim.
+  std::size_t delivered = 0;
+  std::vector<std::thread> posters;
+  posters.reserve(kPosters);
+  for (std::size_t t = 0; t < kPosters; ++t) {
+    posters.emplace_back([&sim, &delivered, node]() {
+      for (std::size_t i = 0; i < kPostsEach; ++i) {
+        sim.post([&sim, &delivered, node]() {
+          ++delivered;
+          // Posted work may schedule follow-up events like any actor.
+          sim.send(node, node, /*kind=*/1, {});
+        });
+        if (i % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Drive the simulation while the posters are still injecting; run()
+  // returns whenever the queue momentarily drains, so spin until every
+  // posted closure has been observed.
+  while (true) {
+    sim.run();
+    if (delivered == kPosters * kPostsEach) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& poster : posters) poster.join();
+  sim.run();  // drain the last self-sends
+
+  EXPECT_EQ(delivered, kPosters * kPostsEach);
+  auto& actor = static_cast<CountingActor&>(sim.actor(node));
+  EXPECT_EQ(actor.messages(), static_cast<int>(kPosters * kPostsEach));
+}
+
+// ------------------------------------------------- concurrent logging
+
+TEST(LoggerConcurrency, WritersOnManyThreadsSerializeThroughTheSink) {
+  NoisyLogCapture quiet;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < 200; ++i) {
+        MOCC_DEBUG() << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace mocc

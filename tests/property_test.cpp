@@ -35,8 +35,12 @@ TEST_P(ConditionHierarchy, MLinImpliesMNormalImpliesMSC) {
     const bool mlin = core::check_m_linearizable(h).admissible;
     const bool mnorm = core::check_m_normal(h).admissible;
     const bool msc = core::check_m_sequentially_consistent(h).admissible;
-    if (mlin) EXPECT_TRUE(mnorm) << "m-lin without m-normality";
-    if (mnorm) EXPECT_TRUE(msc) << "m-normality without m-SC";
+    if (mlin) {
+      EXPECT_TRUE(mnorm) << "m-lin without m-normality";
+    }
+    if (mnorm) {
+      EXPECT_TRUE(msc) << "m-normality without m-SC";
+    }
   }
 }
 

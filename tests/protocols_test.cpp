@@ -284,7 +284,7 @@ TEST(Locking, HistoryIsMLinearizable) {
 }
 
 TEST(Locking, MLinearizableAcrossSeedsAndDelays) {
-  for (const std::string& delay : {"lan", "reorder"}) {
+  for (const char* delay : {"lan", "reorder"}) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       auto config = config_for("locking", 3, 3, delay);
       config.seed = seed;

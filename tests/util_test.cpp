@@ -350,6 +350,91 @@ TEST(BitRelation, SuccessorsPredecessorsDegrees) {
   EXPECT_EQ(indeg[0], 0u);
 }
 
+TEST(BitRelation, EmptyUniverse) {
+  BitRelation r(0);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.pair_count(), 0u);
+  EXPECT_TRUE(r.is_acyclic());
+  EXPECT_TRUE(r.closed_is_total_order());  // vacuously
+  const auto order = r.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+  EXPECT_TRUE(r.in_degrees().empty());
+  BitRelation other(0);
+  r.merge(other);  // merging empty universes is a no-op, not a crash
+  EXPECT_EQ(r.pair_count(), 0u);
+  const auto closed = r.transitive_closure();
+  EXPECT_EQ(closed.size(), 0u);
+}
+
+TEST(BitRelation, SelfLoopCycleDetectedBeyondFirstWord) {
+  // The self-loop bit sits in the second 64-bit word of its row.
+  BitRelation r(130);
+  r.add(100, 100);
+  EXPECT_FALSE(r.is_acyclic());
+  EXPECT_FALSE(r.topological_order().has_value());
+}
+
+TEST(BitRelation, TransitiveClosureOnAlreadyClosedInputIsIdempotent) {
+  BitRelation r(6);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(3, 4);
+  const auto once = r.transitive_closure();
+  const auto twice = once.transitive_closure();
+  ASSERT_EQ(once.size(), twice.size());
+  EXPECT_EQ(once.pair_count(), twice.pair_count());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    for (std::size_t j = 0; j < once.size(); ++j) {
+      EXPECT_EQ(once.has(i, j), twice.has(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(BitRelation, LargeUniverseChainAcrossWordBoundary) {
+  // A 130-element chain spans three 64-bit words per row; the closure
+  // must carry bits across all word boundaries.
+  constexpr std::size_t kN = 130;
+  BitRelation r(kN);
+  for (std::size_t i = 0; i + 1 < kN; ++i) r.add(i, i + 1);
+  const auto closed = r.transitive_closure();
+  EXPECT_TRUE(closed.has(0, kN - 1));
+  EXPECT_TRUE(closed.has(63, 64));
+  EXPECT_TRUE(closed.has(0, 127));
+  EXPECT_FALSE(closed.has(kN - 1, 0));
+  // i < j ordered for all pairs: n*(n-1)/2 pairs, and a total order.
+  EXPECT_EQ(closed.pair_count(), kN * (kN - 1) / 2);
+  EXPECT_TRUE(closed.closed_is_total_order());
+  const auto order = r.topological_order();
+  ASSERT_TRUE(order.has_value());
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ((*order)[i], i);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(BitRelationDeath, AddOutOfRangeAborts) {
+  BitRelation r(4);
+  EXPECT_DEATH(r.add(4, 0), "outside the universe");
+  EXPECT_DEATH(r.add(0, 4), "outside the universe");
+}
+
+TEST(BitRelationDeath, HasOutOfRangeAborts) {
+  const BitRelation r(4);
+  EXPECT_DEATH((void)r.has(0, 7), "outside the universe");
+}
+
+TEST(BitRelationDeath, MergeMismatchedUniversesAborts) {
+  BitRelation a(4);
+  const BitRelation b(5);
+  EXPECT_DEATH(a.merge(b), "universe sizes disagree");
+}
+
+TEST(BitRelationDeath, SuccessorsPredecessorsOutOfRangeAbort) {
+  const BitRelation r(3);
+  EXPECT_DEATH((void)r.successors(3), "outside the universe");
+  EXPECT_DEATH((void)r.predecessors(9), "outside the universe");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 // ---------------------------------------------------------------- bytes
 
 TEST(Bytes, RoundTripScalars) {

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Static + dynamic analysis driver for the mocc tree.
+#
+# Usage: tools/run_analysis.sh [stage ...]
+#   stages: asan tsan werror tidy   (default: all of them, in that order)
+#
+# Each stage configures its own build directory (build-<preset>) from
+# CMakePresets.json, builds everything with -Werror, and runs the full
+# ctest suite. Stages that need tools the host lacks (clang, clang-tidy)
+# are skipped with a notice rather than failing, so the script is safe to
+# run on gcc-only machines; CI runs every stage on a clang toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+FAILED=()
+SKIPPED=()
+
+note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  note "configure+build+test: preset '${preset}'"
+  cmake --preset "${preset}" &&
+    cmake --build --preset "${preset}" -j "${JOBS}" &&
+    ctest --preset "${preset}" --output-on-failure -j "${JOBS}"
+}
+
+stage_asan() {
+  # ASan finds heap misuse; UBSan (with -fno-sanitize-recover=all) turns
+  # any undefined behavior into a hard failure.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    run_preset asan-ubsan
+}
+
+stage_tsan() {
+  # TSan exercises the annotated concurrency boundary (recorder, logger,
+  # Simulator::post, ParallelRunner) via tests/parallel_test.cpp.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
+    run_preset tsan
+}
+
+stage_werror() {
+  # Plain warning-clean build. Under clang this also runs the
+  # -Wthread-safety lock-discipline analysis over the MOCC_* annotations.
+  note "configure+build+test: -Werror (plus -Wthread-safety under clang)"
+  cmake -B build-werror -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOCC_WERROR=ON &&
+    cmake --build build-werror -j "${JOBS}" &&
+    ctest --test-dir build-werror --output-on-failure -j "${JOBS}"
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null || ! command -v clang++ >/dev/null; then
+    echo "clang-tidy/clang++ not found; skipping tidy stage"
+    SKIPPED+=(tidy)
+    return 0
+  fi
+  note "clang-tidy (preset 'tidy', checks from .clang-tidy)"
+  cmake --preset tidy &&
+    cmake --build --preset tidy -j "${JOBS}"
+}
+
+STAGES=("$@")
+if [ "${#STAGES[@]}" -eq 0 ]; then
+  STAGES=(asan tsan werror tidy)
+fi
+
+for stage in "${STAGES[@]}"; do
+  case "${stage}" in
+    asan|tsan|werror|tidy) ;;
+    *) echo "unknown stage '${stage}' (expected asan|tsan|werror|tidy)"; exit 2 ;;
+  esac
+  if "stage_${stage}"; then
+    echo "stage ${stage}: OK"
+  else
+    echo "stage ${stage}: FAILED"
+    FAILED+=("${stage}")
+  fi
+done
+
+note "summary"
+echo "ran:     ${STAGES[*]}"
+[ "${#SKIPPED[@]}" -gt 0 ] && echo "skipped: ${SKIPPED[*]}"
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "FAILED:  ${FAILED[*]}"
+  exit 1
+fi
+echo "all stages clean"
