@@ -7,7 +7,8 @@
 // ~ 0 regardless of n; m-lin query latency ~ one round trip, mildly
 // increasing with n (max over n-1 samples of the delay distribution).
 //
-// Counters (virtual ticks): q_mean, q_p99, u_mean, u_p99.
+// Counters (virtual ticks): q_mean, q_p99, u_mean, u_p99, plus the
+// whole-run registry metrics (msgs, bytes, tput, ...).
 #include "common.hpp"
 
 namespace mocc::bench {
@@ -30,8 +31,7 @@ void QueryLatency(::benchmark::State& state, const std::string& protocol,
     params.footprint = 2;
     result = run_experiment(config, params);
   }
-  set_latency_counters(state, result.report);
-  state.counters["queries"] = static_cast<double>(result.report.queries);
+  set_run_counters(state, result);
 }
 
 void register_all() {

@@ -33,8 +33,7 @@ void UpdateLatency(::benchmark::State& state, const std::string& protocol,
     params.footprint = 2;
     result = run_experiment(config, params);
   }
-  set_latency_counters(state, result.report);
-  state.counters["updates"] = static_cast<double>(result.report.updates);
+  set_run_counters(state, result);
 }
 
 void register_all() {

@@ -30,10 +30,7 @@ void MessageComplexity(::benchmark::State& state, const std::string& protocol,
     params.footprint = 2;
     result = run_experiment(config, params);
   }
-  const double ops =
-      static_cast<double>(result.report.queries + result.report.updates);
-  state.counters["msg_per_op"] = static_cast<double>(result.traffic.messages) / ops;
-  state.counters["bytes_per_op"] = static_cast<double>(result.traffic.bytes) / ops;
+  set_run_counters(state, result);
 }
 
 void register_all() {

@@ -63,8 +63,10 @@ void ExactChecker(::benchmark::State& state, Condition condition, bool free_fami
     states_total += static_cast<double>(result.states_visited);
     ++runs;
   }
-  state.counters["states"] =
-      ::benchmark::Counter(states_total / static_cast<double>(runs));
+  obs::Registry registry;
+  registry.counter("runs").set(runs);
+  registry.gauge("states").set(states_total / static_cast<double>(runs));
+  export_metrics(state, registry);
 }
 
 /// Theorem-2 instances: random interleaved schedules pushed through the
@@ -102,8 +104,10 @@ void ReducedSchedules(::benchmark::State& state, bool prune) {
     states_total += static_cast<double>(result.states_visited);
     ++runs;
   }
-  state.counters["states"] =
-      ::benchmark::Counter(states_total / static_cast<double>(runs));
+  obs::Registry registry;
+  registry.counter("runs").set(runs);
+  registry.gauge("states").set(states_total / static_cast<double>(runs));
+  export_metrics(state, registry);
 }
 
 void register_all() {

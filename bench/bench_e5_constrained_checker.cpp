@@ -47,7 +47,9 @@ void FastChecker(::benchmark::State& state) {
         core::Constraint::kWW);
     ::benchmark::DoNotOptimize(result.admissible);
   }
-  state.counters["mops"] = static_cast<double>(recorded.history.size());
+  obs::Registry registry;
+  registry.counter("mops").set(recorded.history.size());
+  export_metrics(state, registry);
 }
 
 void ExactChecker(::benchmark::State& state, bool prune) {
@@ -66,8 +68,10 @@ void ExactChecker(::benchmark::State& state, bool prune) {
     ::benchmark::DoNotOptimize(result.admissible);
     states = static_cast<double>(result.states_visited);
   }
-  state.counters["mops"] = static_cast<double>(recorded.history.size());
-  state.counters["states"] = states;
+  obs::Registry registry;
+  registry.counter("mops").set(recorded.history.size());
+  registry.gauge("states").set(states);
+  export_metrics(state, registry);
 }
 
 void register_all() {

@@ -22,7 +22,6 @@ namespace {
 void Baselines(::benchmark::State& state, const std::string& protocol,
                std::size_t num_objects, std::size_t footprint) {
   RunResult result;
-  sim::SimTime virtual_time = 1;
   for (auto _ : state) {
     api::SystemConfig config;
     config.protocol = protocol;
@@ -30,24 +29,14 @@ void Baselines(::benchmark::State& state, const std::string& protocol,
     config.num_objects = num_objects;
     config.delay = "lan";
     config.seed = 5 + state.iterations();
-
-    api::System system(config);
     protocols::WorkloadParams params;
     params.ops_per_process = 30;
     params.update_ratio = 0.5;
     params.footprint = footprint;
-    result.report = system.run_workload(params);
-    // Recover end-to-end virtual time from the recorded history.
-    const auto h = system.history();
-    virtual_time = 1;
-    for (core::MOpId id = 0; id < h.size(); ++id) {
-      virtual_time = std::max(virtual_time, h.mop(id).response());
-    }
+    result = run_experiment(config, params);
   }
-  const double ops =
-      static_cast<double>(result.report.queries + result.report.updates);
-  state.counters["tput"] = ops * 1000.0 / static_cast<double>(virtual_time);
-  set_latency_counters(state, result.report);
+  // tput = ops per 1000 virtual ticks, from the run's quiescence time.
+  set_run_counters(state, result);
 }
 
 void register_all() {

@@ -32,11 +32,7 @@ void Asynchrony(::benchmark::State& state, const std::string& protocol,
     params.footprint = 2;
     result = run_experiment(config, params, /*run_audit=*/true);
   }
-  set_latency_counters(state, result.report);
-  const double ops =
-      static_cast<double>(result.report.queries + result.report.updates);
-  state.counters["msg_per_op"] = static_cast<double>(result.traffic.messages) / ops;
-  state.counters["audit_ok"] = result.audit_ok ? 1 : 0;
+  set_run_counters(state, result);
 }
 
 void register_all() {

@@ -1,7 +1,10 @@
-// Shared helpers for the experiment benchmarks (E1-E7).
+// Shared helpers for the google-benchmark experiment binaries (E1-E7).
 //
-// Simulation experiments report *virtual-time* latencies and message
-// counts through benchmark counters (wall time of a simulation is
+// The experiment configurations, run helpers, and metric definitions
+// live in experiments.{hpp,cpp} (shared with the bench_report artifact
+// driver); this header only adapts an obs::Registry to google-benchmark
+// custom counters. Simulation experiments report *virtual-time*
+// latencies and message counts (wall time of a simulation is
 // meaningless for the protocols); checker experiments (E4/E5) use
 // google-benchmark's wall-clock timing directly.
 #pragma once
@@ -10,46 +13,44 @@
 
 #include <string>
 
-#include "api/system.hpp"
-#include "protocols/workload.hpp"
+#include "experiments.hpp"
 
 namespace mocc::bench {
 
-struct RunResult {
-  protocols::WorkloadReport report;
-  sim::TrafficStats traffic;
-  sim::SimTime virtual_time = 0;
-  bool audit_ok = true;
-  std::size_t history_size = 0;
-};
-
-/// Builds a system, drives the closed-loop workload, and collects the
-/// metrics every simulation experiment reports.
-inline RunResult run_experiment(const api::SystemConfig& config,
-                                const protocols::WorkloadParams& params,
-                                bool run_audit = false) {
-  api::System system(config);
-  RunResult result;
-  result.report = system.run_workload(params);
-  result.traffic = system.traffic();
-  result.history_size = system.history().size();
-  if (run_audit && system.supports_audit()) {
-    result.audit_ok = system.audit().ok;
+/// Copies every registry instrument into the benchmark's custom
+/// counters: counters and gauges by name, histograms as <name>_n /
+/// <name>_mean / <name>_p99.
+inline void export_metrics(::benchmark::State& state, const obs::Registry& registry) {
+  for (const auto& [name, counter] : registry.counters()) {
+    state.counters[name] = static_cast<double>(counter.value());
   }
-  return result;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    state.counters[name] = gauge.value();
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    state.counters[name + "_n"] = static_cast<double>(histogram.count());
+    state.counters[name + "_mean"] = histogram.mean();
+    state.counters[name + "_p99"] = histogram.percentile(99.0);
+  }
 }
 
-/// Standard latency counters from a workload report.
+/// Standard latency counters from a workload report (q_n/q_mean/q_p99,
+/// u_n/u_mean/u_p99, queries, updates). Goes through the registry so an
+/// empty latency class still reports explicit zeros — every run of an
+/// experiment exposes the same counter set.
 inline void set_latency_counters(::benchmark::State& state,
                                  const protocols::WorkloadReport& report) {
-  if (!report.query_latency.empty()) {
-    state.counters["q_mean"] = report.query_latency.mean();
-    state.counters["q_p99"] = report.query_latency.percentile(99.0);
-  }
-  if (!report.update_latency.empty()) {
-    state.counters["u_mean"] = report.update_latency.mean();
-    state.counters["u_p99"] = report.update_latency.percentile(99.0);
-  }
+  obs::Registry registry;
+  register_latency_metrics(registry, report);
+  export_metrics(state, registry);
+}
+
+/// Whole-run counters (latency + mops/msgs/bytes/virtual_time/
+/// msg_per_op/bytes_per_op/tput, audit_ok when audited).
+inline void set_run_counters(::benchmark::State& state, const RunResult& result) {
+  obs::Registry registry;
+  register_run_metrics(registry, result);
+  export_metrics(state, registry);
 }
 
 }  // namespace mocc::bench

@@ -1,0 +1,131 @@
+// Experiment suite E1-E7 as a library: shared run helpers, the metrics
+// each experiment registers (through obs::Registry), and the
+// machine-readable record schema behind BENCH_results.json.
+//
+// Two front ends build on this:
+//   - bench/report_main.cpp (`bench_report`): runs the suite and writes
+//     the schema-versioned JSON artifact (tools/run_bench.sh wraps it);
+//   - the bench_e*.cpp google-benchmark binaries: wall-clock timing of
+//     the same configurations, exporting the same registry metrics as
+//     benchmark counters (see common.hpp).
+//
+// Everything recorded here is a deterministic function of the seeds —
+// virtual-time latencies, message counts, checker states visited — so a
+// fixed-seed rerun serializes byte-identically (golden-tested by
+// tests/bench_report_test.cpp). Wall-clock measurements stay in the
+// google-benchmark binaries, never in the JSON artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "protocols/workload.hpp"
+
+namespace mocc::bench {
+
+/// Bumped whenever a field changes meaning or moves; consumers of
+/// BENCH_results.json must check it (documented in docs/observability.md).
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Latency histogram shape shared by every experiment: virtual-tick
+/// latencies land in [0, 4096) at 4-tick resolution, which covers every
+/// delay model's tail at the benchmarked scales (overflow is still
+/// counted and still feeds mean/min/max exactly).
+inline constexpr double kLatencyLo = 0.0;
+inline constexpr double kLatencyHi = 4096.0;
+inline constexpr std::size_t kLatencyBuckets = 1024;
+
+struct RunResult {
+  protocols::WorkloadReport report;
+  sim::TrafficStats traffic;
+  sim::SimTime virtual_time = 0;
+  bool audit_ran = false;
+  bool audit_ok = false;  // meaningful only when audit_ran
+  std::size_t history_size = 0;
+};
+
+/// Builds a system, drives the closed-loop workload, and collects the
+/// metrics every simulation experiment reports. When `trace` is non-null
+/// it is attached for the duration of the run and receives every message
+/// / m-op / lock / abcast event.
+RunResult run_experiment(const api::SystemConfig& config,
+                         const protocols::WorkloadParams& params,
+                         bool run_audit = false, obs::TraceSink* trace = nullptr);
+
+/// Registers the per-class latency metrics from a workload report:
+/// counters `queries` / `updates` and histograms `q` / `u`.
+///
+/// Always registers all four, even for a run whose query (or update)
+/// class is empty — an explicit zero-count histogram, not an absent key.
+/// (The previous bench helper silently dropped empty classes, so an
+/// update-only run produced a different schema than a mixed run and
+/// downstream table generators needed per-experiment special cases.)
+void register_latency_metrics(obs::Registry& registry,
+                              const protocols::WorkloadReport& report);
+
+/// Latency metrics plus the whole-run series every simulation experiment
+/// shares: counters `mops` / `msgs` / `bytes`, gauges `virtual_time` /
+/// `msg_per_op` / `bytes_per_op` / `tput` (completed m-ops per 1000
+/// virtual ticks), and — when the run audited — gauge `audit_ok`.
+void register_run_metrics(obs::Registry& registry, const RunResult& result);
+
+/// One row of BENCH_results.json: a named configuration point of one
+/// experiment plus everything measured there.
+struct ExperimentRecord {
+  enum class Audit : std::uint8_t { kNotApplicable, kOk, kFailed };
+
+  std::string experiment;                      // "E1" .. "E7"
+  std::string name;                            // "E1/query_latency/mseq/lan/n2"
+  std::map<std::string, std::string> config;   // the exact sweep point
+  obs::Registry metrics;
+  sim::TrafficStats traffic;                   // zero for checker experiments
+  Audit audit = Audit::kNotApplicable;
+};
+
+struct SuiteOptions {
+  /// Reduced sweeps (CI-sized: seconds, not minutes). Every experiment
+  /// still contributes records; only the grid shrinks.
+  bool smoke = false;
+  /// Subset of {"E1",..,"E7"}; empty = all.
+  std::vector<std::string> only;
+};
+
+/// True when `experiment` is selected by `options.only` (or it is empty).
+bool experiment_selected(const SuiteOptions& options, std::string_view experiment);
+
+std::vector<ExperimentRecord> run_e1(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e2(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e3(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e4(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e5(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e6(const SuiteOptions& options);
+std::vector<ExperimentRecord> run_e7(const SuiteOptions& options);
+
+/// Runs every selected experiment in order. Deterministic: same options
+/// → identical records.
+std::vector<ExperimentRecord> run_suite(const SuiteOptions& options);
+
+/// Serializes records as the schema documented in docs/observability.md.
+/// Byte-deterministic: map iteration is sorted and doubles use shortest
+/// round-trip formatting, so fixed-seed reruns compare equal with cmp(1).
+void write_records_json(std::ostream& out,
+                        const std::vector<ExperimentRecord>& records,
+                        const SuiteOptions& options);
+
+/// Renders records as per-experiment util::Table blocks (the form the
+/// EXPERIMENTS.md tables are regenerated from).
+void print_records(std::ostream& out, const std::vector<ExperimentRecord>& records);
+
+/// Runs one small fixed-seed mlin workload with a ring-buffer sink
+/// attached and writes the captured events as JSONL (--trace demo).
+void write_demo_trace(std::ostream& out);
+
+}  // namespace mocc::bench

@@ -1,5 +1,6 @@
 #include "abcast/isis.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/bytes.hpp"
 
@@ -93,6 +94,11 @@ void IsisAbcast::try_deliver(sim::Context& ctx) {
     // which never touch this (final) entry.
     const std::vector<std::uint8_t> payload = std::move(pending_.at(key).payload);
     pending_.erase(key);
+    const std::uint64_t seq_pos = next_delivery_pos_++;
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kAbcastSequence, ctx.now(), ctx.self(),
+                      key.first, 0, seq_pos, payload.size()});
+    }
     deliver_(ctx, key.first, payload);
     continue;
   }

@@ -65,6 +65,9 @@ class IsisAbcast final : public AtomicBroadcast {
 
   std::uint64_t lamport_ = 0;
   std::uint64_t next_msgid_ = 0;
+  /// Agreed-order delivery position (identical at every node; traced as
+  /// the kAbcastSequence event id).
+  std::uint64_t next_delivery_pos_ = 0;
   std::map<MsgKey, Pending> pending_;
   std::map<std::uint64_t, Collecting> collecting_;  // my own msgid -> state
   std::map<MsgKey, Stamp> early_finals_;            // FINAL overtook PROPOSE

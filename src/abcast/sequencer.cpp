@@ -1,5 +1,6 @@
 #include "abcast/sequencer.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/bytes.hpp"
 
@@ -42,7 +43,11 @@ void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId o
     const sim::NodeId msg_origin = it->second.first;
     const std::vector<std::uint8_t> msg_payload = std::move(it->second.second);
     pending_.erase(it);
-    ++next_seq_to_deliver_;
+    const std::uint64_t seq_pos = next_seq_to_deliver_++;
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kAbcastSequence, ctx.now(), ctx.self(),
+                      msg_origin, 0, seq_pos, msg_payload.size()});
+    }
     deliver_(ctx, msg_origin, msg_payload);
   }
 }

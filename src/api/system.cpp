@@ -165,4 +165,6 @@ core::AdmissibilityResult System::check_exact(
 
 const sim::TrafficStats& System::traffic() const { return sim_->traffic(); }
 
+void System::set_trace_sink(obs::TraceSink* sink) { sim_->set_trace_sink(sink); }
+
 }  // namespace mocc::api

@@ -97,6 +97,13 @@ class System {
   const sim::TrafficStats& traffic() const;
   const protocols::ExecutionRecorder& recorder() const { return *recorder_; }
 
+  /// Attaches an observability trace sink (obs/trace.hpp) to the
+  /// underlying simulator. Not owned — it must outlive the system or be
+  /// detached with nullptr. Message, m-operation, lock, and abcast
+  /// events of subsequent runs flow into it; with no sink attached the
+  /// instrumentation costs one pointer test per event site.
+  void set_trace_sink(obs::TraceSink* sink);
+
  private:
   SystemConfig config_;
   std::unique_ptr<protocols::ExecutionRecorder> recorder_;

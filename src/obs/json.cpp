@@ -1,0 +1,146 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mocc::obs {
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty) : out_(out), pretty_(pretty) {}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    // The comma/indent was emitted with the key.
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+    if (pretty_) {
+      out_ << '\n';
+      for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+    }
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  MOCC_ASSERT_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "end_object without matching begin_object");
+  const bool had_elements = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (pretty_ && had_elements) {
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+  out_ << '}';
+  wrote_value_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  MOCC_ASSERT_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                  "end_array without matching begin_array");
+  const bool had_elements = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (pretty_ && had_elements) {
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+  out_ << ']';
+  wrote_value_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  MOCC_ASSERT_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "key outside an object");
+  separate();
+  write_escaped(name);
+  out_ << (pretty_ ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out_ << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  write_escaped(s);
+  wrote_value_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  out_ << (b ? "true" : "false");
+  wrote_value_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << v;
+  wrote_value_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << v;
+  wrote_value_ = true;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no NaN/Inf spelling
+  } else {
+    // Shortest round-trip representation: locale-independent and
+    // byte-stable across reruns, which the golden tests rely on.
+    std::array<char, 32> buf{};
+    const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+    MOCC_ASSERT(res.ec == std::errc());
+    out_ << std::string_view(buf.data(), static_cast<std::size_t>(res.ptr - buf.data()));
+  }
+  wrote_value_ = true;
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ << "null";
+  wrote_value_ = true;
+}
+
+}  // namespace mocc::obs

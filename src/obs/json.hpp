@@ -1,0 +1,67 @@
+// Deterministic streaming JSON writer.
+//
+// Benchmark artifacts (BENCH_results.json) must be byte-identical across
+// fixed-seed reruns so they can be diffed and golden-tested, so this
+// writer makes every formatting decision deterministically: keys are
+// emitted in caller order (callers iterate sorted maps), doubles use the
+// shortest round-trip representation from std::to_chars (no locale, no
+// precision flags), and pretty-printing uses fixed two-space indents.
+// Non-finite doubles have no JSON spelling and serialize as null.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace mocc::obs {
+
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines + two-space indentation (for artifacts a
+  /// human diffs); compact mode is single-line (for JSONL traces).
+  explicit JsonWriter(std::ostream& out, bool pretty = false);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Must be called inside an object, before the matching value.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void null();
+
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once every container opened has been closed.
+  bool done() const { return stack_.empty() && wrote_value_; }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void separate();  // comma/newline/indent before the next element
+  void write_escaped(std::string_view s);
+
+  std::ostream& out_;
+  bool pretty_;
+  bool wrote_value_ = false;
+  /// Per-frame flag: has the current container emitted an element yet?
+  std::vector<Frame> stack_;
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mocc::obs

@@ -1,0 +1,116 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mocc::obs {
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  MOCC_ASSERT_MSG(hi > lo, "histogram range must be non-empty");
+  MOCC_ASSERT_MSG(buckets > 0, "histogram needs at least one bucket");
+}
+
+void FixedHistogram::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  if (sample < lo_) {
+    ++underflow_;
+  } else if (sample >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((sample - lo_) / bucket_width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double FixedHistogram::percentile(double p) const {
+  MOCC_ASSERT(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  // Nearest rank, 1-based: the smallest r with r >= p% of the samples.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  // Cumulative walk in value order: underflow (reported as min), the
+  // buckets (reported as clamped midpoints), overflow (reported as max).
+  std::uint64_t seen = underflow_;
+  if (rank <= seen) return min_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank <= seen) {
+      const double midpoint = lo_ + bucket_width_ * (static_cast<double>(i) + 0.5);
+      return std::clamp(midpoint, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void FixedHistogram::write_summary_json(JsonWriter& json) const {
+  json.begin_object();
+  json.field("count", count());
+  json.field("mean", mean());
+  json.field("p50", percentile(50.0));
+  json.field("p99", percentile(99.0));
+  json.field("min", min());
+  json.field("max", max());
+  json.end_object();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter()).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge()).first->second;
+}
+
+FixedHistogram& Registry::histogram(std::string_view name, double lo, double hi,
+                                    std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    MOCC_ASSERT_MSG(it->second.lo() == lo && it->second.hi() == hi &&
+                        it->second.bucket_count() == buckets,
+                    "histogram re-registered with different bounds");
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), FixedHistogram(lo, hi, buckets))
+      .first->second;
+}
+
+void Registry::write_json_fields(JsonWriter& json) const {
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, counter] : counters_) json.field(name, counter.value());
+  json.end_object();
+
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, gauge] : gauges_) json.field(name, gauge.value());
+  json.end_object();
+
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    json.key(name);
+    histogram.write_summary_json(json);
+  }
+  json.end_object();
+}
+
+}  // namespace mocc::obs

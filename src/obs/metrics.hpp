@@ -1,0 +1,133 @@
+// Lightweight metrics registry: counters, gauges, and fixed-bucket
+// histograms with mean/p50/p99 summaries.
+//
+// This is the observability substrate the benchmarks and the report
+// driver (bench/report_main.cpp) register their measurements through, so
+// every experiment produces the same machine-readable shape in
+// BENCH_results.json regardless of which code path filled it in.
+//
+// Design constraints:
+//   - Deterministic: every summary is a pure function of the samples, so
+//     fixed-seed runs serialize byte-identically (no wall-clock state).
+//   - Fixed memory: histograms never store samples, only bucket counts
+//     plus exact sum/min/max, so a registry's footprint is independent of
+//     run length (unlike util::Summary, which keeps every sample).
+//   - Single-writer: a registry belongs to one experiment run on one
+//     thread. The concurrent piece of the observability layer is the
+//     TraceSink (obs/trace.hpp), not the registry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mocc::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  void set(std::uint64_t value) { value_ = value; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-width buckets over [lo, hi) with underflow/overflow capture and
+/// exact sum/min/max, answering mean and bucket-resolution percentiles.
+///
+/// Percentiles use nearest-rank over the cumulative bucket counts and
+/// report the matched bucket's midpoint, clamped to the exact [min, max]
+/// observed — so the degenerate cases are exact: a single sample (or
+/// all-equal samples) yields that sample for every p, and an empty
+/// histogram yields 0 everywhere (schema-stable zero, not a trap).
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// p in [0, 100]; 0.0 when empty.
+  double percentile(double p) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// {"count":..,"mean":..,"p50":..,"p99":..,"min":..,"max":..}
+  void write_summary_json(JsonWriter& json) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name → instrument map. Lookup creates on first use and returns a
+/// stable reference thereafter (std::map nodes never move), so hot paths
+/// can cache `Counter&` across calls.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Re-registering an existing name returns the existing histogram; the
+  /// bounds must agree (asserted).
+  FixedHistogram& histogram(std::string_view name, double lo, double hi,
+                            std::size_t buckets);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, FixedHistogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Emits three key/value fields into the currently open JSON object:
+  /// "counters", "gauges", and "histograms" (summary form), each with
+  /// names in sorted order (maps iterate sorted — determinism for free).
+  void write_json_fields(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, FixedHistogram, std::less<>> histograms_;
+};
+
+}  // namespace mocc::obs

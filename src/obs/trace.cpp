@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace mocc::obs {
+
+std::string_view to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kMessageSend: return "message_send";
+    case TraceEventType::kMessageDeliver: return "message_deliver";
+    case TraceEventType::kMOpInvoke: return "mop_invoke";
+    case TraceEventType::kMOpRespond: return "mop_respond";
+    case TraceEventType::kLockAcquire: return "lock_acquire";
+    case TraceEventType::kLockRelease: return "lock_release";
+    case TraceEventType::kAbcastSequence: return "abcast_sequence";
+  }
+  MOCC_ASSERT_MSG(false, "unknown trace event type");
+  return "unknown";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  MOCC_ASSERT_MSG(capacity > 0, "ring buffer needs capacity >= 1");
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t RingBufferSink::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& event : events) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("type", to_string(event.type));
+    json.field("t", event.time);
+    json.field("node", event.node);
+    json.field("peer", event.peer);
+    json.field("kind", event.kind);
+    json.field("id", event.id);
+    json.field("arg", event.arg);
+    json.end_object();
+    out << '\n';
+  }
+}
+
+}  // namespace mocc::obs

@@ -1,0 +1,103 @@
+// Structured execution tracing.
+//
+// The simulator, the abcast layer, and every replica protocol emit
+// TraceEvents describing *why* a run behaved as it did: each message
+// send/delivery, each m-operation invocation/response, each lock
+// acquire/release at a 2PL home, and each atomic-broadcast delivery
+// position. Emission goes through a TraceSink pointer that is null by
+// default — the instrumentation is always compiled in, and the only cost
+// with no sink attached is one pointer test per event site (overhead
+// policy in docs/observability.md).
+//
+// TraceEvent is a flat POD with generic fields so this layer depends on
+// nothing above util; the per-type field meanings are documented on the
+// enum below and mirrored by the JSONL exporter.
+//
+// Thread safety: one Simulator emits from a single thread, but parallel
+// sweeps (sim::ParallelRunner) may attach the SAME sink to many
+// concurrently-running simulators, so sink implementations must be
+// internally synchronized. RingBufferSink locks a mutex per event; the
+// ordering guarantee under sharing is per-simulator order preservation
+// (each simulator's events appear in emission order; events from
+// different simulators interleave arbitrarily).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace mocc::obs {
+
+enum class TraceEventType : std::uint8_t {
+  /// node=sender, peer=receiver, kind=message kind, arg=payload bytes.
+  kMessageSend = 0,
+  /// node=receiver, peer=sender, kind=message kind, arg=payload bytes.
+  kMessageDeliver,
+  /// node=process, id=m-operation id, arg=1 if the program is an update.
+  kMOpInvoke,
+  /// node=process, id=m-operation id, arg=invocation virtual time.
+  kMOpRespond,
+  /// node=lock home, peer=client, kind=lock id, id=token, arg=1 if exclusive.
+  kLockAcquire,
+  /// node=lock home, kind=lock id, id=token, arg=1 if exclusive.
+  kLockRelease,
+  /// node=delivering replica, peer=origin, id=agreed sequence position,
+  /// arg=payload bytes.
+  kAbcastSequence,
+};
+
+/// Stable lowercase name used by the JSONL exporter ("message_send", ...).
+std::string_view to_string(TraceEventType type);
+
+struct TraceEvent {
+  TraceEventType type{};
+  std::uint64_t time = 0;  ///< virtual time of the emitting simulator
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t id = 0;
+  std::uint64_t arg = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// May be called concurrently from multiple simulator threads.
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Bounded in-memory sink: keeps the newest `capacity` events, counts
+/// everything. Internally synchronized (shareable across a
+/// sim::ParallelRunner pool).
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void on_event(const TraceEvent& event) override MOCC_EXCLUDES(mu_);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const MOCC_EXCLUDES(mu_);
+  /// All events ever offered (retained + dropped).
+  std::uint64_t total() const MOCC_EXCLUDES(mu_);
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const MOCC_EXCLUDES(mu_);
+  std::size_t capacity() const { return capacity_; }
+  void clear() MOCC_EXCLUDES(mu_);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_ MOCC_GUARDED_BY(mu_);
+  std::size_t next_ MOCC_GUARDED_BY(mu_) = 0;  ///< overwrite cursor once full
+  std::uint64_t total_ MOCC_GUARDED_BY(mu_) = 0;
+};
+
+/// One compact JSON object per line:
+/// {"type":"message_send","t":12,"node":0,"peer":1,"kind":100,"id":0,"arg":17}
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events);
+
+}  // namespace mocc::obs

@@ -65,6 +65,7 @@ void LockingReplica::invoke(sim::Context& ctx, mscript::Program program,
                             ResponseFn on_response) {
   const core::Time invoke_time = ctx.now();
   const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
+  trace_mop(ctx, obs::TraceEventType::kMOpInvoke, id, program.is_update() ? 1 : 0);
   const std::uint64_t token = id;
 
   PendingOp op;
@@ -284,6 +285,7 @@ void LockingReplica::on_commit_ack(sim::Context& ctx, std::uint64_t token) {
   // protocol; its histories are checked with the generic checkers.
   recorder_.complete(done.id, std::move(done.ops), response_time,
                      util::VersionVector(num_objects_), std::nullopt);
+  trace_mop(ctx, obs::TraceEventType::kMOpRespond, done.id, done.invoke);
   done.on_response(
       InvocationOutcome{done.id, done.return_value, done.invoke, response_time});
 }
@@ -311,6 +313,12 @@ void LockingReplica::pump_lock_queue(sim::Context& ctx, LockId lock) {
       ++state.shared_holders;  // strict FIFO: shared never overtakes
     }
     state.queue.erase(state.queue.begin());
+    // Trace at the home, where the grant decision is made — the queue
+    // wait that precedes this instant is the contention E6 measures.
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kLockAcquire, ctx.now(), ctx.self(),
+                      head.client, lock, head.token, head.exclusive ? 1u : 0u});
+    }
     grant(ctx, head.client, head.token, lock);
   }
 }
@@ -369,12 +377,20 @@ void LockingReplica::handle_commit_req(sim::Context& ctx, sim::NodeId from,
     LockState& state = home_locks_[lock];
     MOCC_ASSERT(state.shared_holders > 0);
     --state.shared_holders;
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kLockRelease, ctx.now(), ctx.self(), from,
+                      lock, token, 0});
+    }
     pump_lock_queue(ctx, lock);
   }
   for (const auto lock : unlock_exclusive) {
     LockState& state = home_locks_[lock];
     MOCC_ASSERT(state.exclusive_held);
     state.exclusive_held = false;
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kLockRelease, ctx.now(), ctx.self(), from,
+                      lock, token, 1});
+    }
     pump_lock_queue(ctx, lock);
   }
   if (from == ctx.self()) {

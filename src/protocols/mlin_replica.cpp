@@ -32,6 +32,7 @@ void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
                          ResponseFn on_response) {
   const core::Time invoke_time = ctx.now();
   const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
+  trace_mop(ctx, obs::TraceEventType::kMOpInvoke, id, program.is_update() ? 1 : 0);
 
   if (program.is_update()) {
     // (A1): identical to Figure 4.
@@ -93,6 +94,7 @@ void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
     pending_updates_.erase(it);
     const core::Time response_time = ctx.now();
     recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, pending.invoke);
     pending.on_response(
         InvocationOutcome{id, exec.return_value, pending.invoke, response_time});
   }
@@ -187,6 +189,7 @@ void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
   const core::Time response_time = ctx.now();
   recorder_.complete(query.id, store.take_ops(), response_time, query.othts,
                      std::nullopt);
+  trace_mop(ctx, obs::TraceEventType::kMOpRespond, query.id, query.invoke);
   query.on_response(
       InvocationOutcome{query.id, exec.return_value, query.invoke, response_time});
 }

@@ -47,6 +47,7 @@ void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
                          ResponseFn on_response) {
   const core::Time invoke_time = ctx.now();
   const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
+  trace_mop(ctx, obs::TraceEventType::kMOpInvoke, id, program.is_update() ? 1 : 0);
 
   if (program.is_update() || options_.broadcast_queries) {
     // (A1): atomically broadcast the m-operation. In broadcast-queries
@@ -66,6 +67,7 @@ void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
   MOCC_ASSERT_MSG(exec.objects_written().empty(), "query program performed a write");
   const core::Time response_time = ctx.now();
   recorder_.complete(id, store.take_ops(), response_time, myts_, std::nullopt);
+  trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, invoke_time);
   on_response(InvocationOutcome{id, exec.return_value, invoke_time, response_time});
 }
 
@@ -97,6 +99,7 @@ void MSeqReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
     pending_.erase(it);
     const core::Time response_time = ctx.now();
     recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, pending.invoke);
     pending.on_response(
         InvocationOutcome{id, exec.return_value, pending.invoke, response_time});
   }

@@ -10,6 +10,7 @@
 
 #include "core/types.hpp"
 #include "mscript/vm.hpp"
+#include "obs/trace.hpp"
 #include "protocols/recorder.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,6 +27,17 @@ struct InvocationOutcome {
 };
 
 using ResponseFn = std::function<void(const InvocationOutcome&)>;
+
+/// Emits an m-operation lifecycle trace event (kMOpInvoke with arg = "is
+/// update", kMOpRespond with arg = invocation time) when the simulator
+/// has a sink attached; free otherwise. Every replica protocol calls this
+/// at its invoke and respond points so traces are protocol-agnostic.
+inline void trace_mop(sim::Context& ctx, obs::TraceEventType type, core::MOpId id,
+                      std::uint64_t arg) {
+  if (auto* sink = ctx.trace_sink()) {
+    sink->on_event({type, ctx.now(), ctx.self(), 0, 0, id, arg});
+  }
+}
 
 class Replica : public sim::Actor {
  public:

@@ -1,11 +1,14 @@
 #include "sim/simulator.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace mocc::sim {
 
 SimTime Context::now() const { return sim_.now(); }
+
+obs::TraceSink* Context::trace_sink() const { return sim_.trace_sink(); }
 
 std::size_t Context::num_nodes() const { return sim_.num_nodes(); }
 
@@ -79,6 +82,11 @@ void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
   traffic_.messages_by_kind[kind] += 1;
   traffic_.bytes_by_kind[kind] += event.message.payload.size();
 
+  if (trace_ != nullptr) {
+    trace_->on_event({obs::TraceEventType::kMessageSend, now_, from, to, kind, 0,
+                      event.message.payload.size()});
+  }
+
   queue_.push(std::move(event));
 }
 
@@ -106,6 +114,11 @@ void Simulator::dispatch(const Event& event) {
   }
   MOCC_DEBUG() << "t=" << now_ << " deliver " << event.message.from << "->"
                << event.message.to << " kind=" << event.message.kind;
+  if (trace_ != nullptr) {
+    trace_->on_event({obs::TraceEventType::kMessageDeliver, now_, event.message.to,
+                      event.message.from, event.message.kind, 0,
+                      event.message.payload.size()});
+  }
   Context ctx(*this, event.message.to);
   actors_[event.message.to]->on_message(ctx, event.message);
 }

@@ -26,6 +26,10 @@
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace mocc::obs {
+class TraceSink;
+}
+
 namespace mocc::sim {
 
 struct Message {
@@ -53,6 +57,12 @@ class Context {
   void send_to_others(std::uint32_t kind, const std::vector<std::uint8_t>& payload);
   /// on_timer(id) fires after `delay` ticks.
   void set_timer(SimTime delay, std::uint64_t timer_id);
+
+  /// The simulator's trace sink — null unless observability is attached.
+  /// Emission sites test for null themselves so that building the event
+  /// costs nothing when tracing is off:
+  ///   if (auto* sink = ctx.trace_sink()) sink->on_event({...});
+  obs::TraceSink* trace_sink() const;
 
  private:
   Simulator& sim_;
@@ -107,6 +117,14 @@ class Simulator {
   const TrafficStats& traffic() const { return traffic_; }
   util::Rng& rng() { return rng_; }
 
+  /// Attaches a trace sink (not owned; must outlive the simulator or be
+  /// detached with nullptr). Message send/deliver events are emitted by
+  /// the simulator itself; protocol layers emit theirs through
+  /// Context::trace_sink(). Null (the default) disables tracing at the
+  /// cost of one pointer test per event site.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
   // Internal API used by Context -------------------------------------
   void send(NodeId from, NodeId to, std::uint32_t kind,
             std::vector<std::uint8_t> payload);
@@ -146,6 +164,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   bool started_ = false;
   TrafficStats traffic_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mocc::sim

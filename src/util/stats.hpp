@@ -32,6 +32,9 @@ class Summary {
   /// "n=.. mean=.. p50=.. p99=.. max=.." one-liner for logs.
   std::string brief() const;
 
+  /// Raw samples in insertion order (e.g. to refill an obs::FixedHistogram).
+  const std::vector<double>& samples() const { return samples_; }
+
  private:
   void ensure_sorted() const;
 

@@ -1,0 +1,128 @@
+// Golden-file and determinism tests for the BENCH_results.json artifact
+// (bench/experiments.{hpp,cpp}).
+//
+// The golden file pins the byte-exact serialization of a fixed-seed E1
+// smoke run: any change to the schema, the metric definitions, the JSON
+// formatting, or the simulation's determinism shows up as a diff here.
+// To regenerate after an INTENDED change:
+//
+//   MOCC_UPDATE_GOLDEN=1 build/tests/bench_report_test
+//
+// then review the diff of tests/golden/e1_smoke.json and bump
+// kBenchSchemaVersion if the record shape changed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments.hpp"
+
+namespace mocc::bench {
+namespace {
+
+SuiteOptions e1_smoke_options() {
+  SuiteOptions options;
+  options.smoke = true;
+  options.only = {"E1"};
+  return options;
+}
+
+std::string render_e1_smoke() {
+  const SuiteOptions options = e1_smoke_options();
+  const auto records = run_suite(options);
+  std::ostringstream out;
+  write_records_json(out, records, options);
+  return out.str();
+}
+
+TEST(BenchReport, FixedSeedRerunIsByteIdentical) {
+  EXPECT_EQ(render_e1_smoke(), render_e1_smoke());
+}
+
+TEST(BenchReport, MatchesGoldenE1Smoke) {
+  const std::string golden_path = std::string(MOCC_GOLDEN_DIR) + "/e1_smoke.json";
+  const std::string rendered = render_e1_smoke();
+
+  if (std::getenv("MOCC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << rendered;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " — regenerate with MOCC_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered, golden.str())
+      << "BENCH_results.json bytes drifted from the golden E1 smoke record; "
+         "if intended, regenerate with MOCC_UPDATE_GOLDEN=1 and review the "
+         "diff (bump kBenchSchemaVersion on shape changes)";
+}
+
+TEST(BenchReport, SelectionFiltersExperiments) {
+  SuiteOptions options;
+  options.smoke = true;
+  options.only = {"E4"};
+  const auto records = run_suite(options);
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_EQ(record.experiment, "E4");
+  }
+  EXPECT_TRUE(experiment_selected(options, "E4"));
+  EXPECT_FALSE(experiment_selected(options, "E1"));
+}
+
+/// The satellite fix for the old set_latency_counters bug: a run with an
+/// empty latency class must still register that class's counters and
+/// histogram with explicit zeros, so every record of an experiment has
+/// the same keys.
+TEST(BenchReport, EmptyLatencyClassKeepsSchemaStableZeros) {
+  protocols::WorkloadReport update_only;
+  update_only.updates = 5;
+  update_only.update_latency.add(10.0);
+  update_only.queries = 0;  // no query ever completed
+
+  obs::Registry registry;
+  register_latency_metrics(registry, update_only);
+
+  EXPECT_EQ(registry.counter("queries").value(), 0u);
+  EXPECT_EQ(registry.counter("updates").value(), 5u);
+  const auto& histograms = registry.histograms();
+  ASSERT_TRUE(histograms.contains("q"));
+  ASSERT_TRUE(histograms.contains("u"));
+  EXPECT_EQ(histograms.at("q").count(), 0u);
+  EXPECT_EQ(histograms.at("q").mean(), 0.0);
+  EXPECT_EQ(histograms.at("q").percentile(99.0), 0.0);
+  EXPECT_EQ(histograms.at("u").count(), 1u);
+
+  // And the JSON record therefore always carries both classes.
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  registry.write_json_fields(json);
+  json.end_object();
+  EXPECT_NE(out.str().find("\"q\":{\"count\":0"), std::string::npos);
+}
+
+/// Audit verdicts surface in the records: the E7 smoke sweep audits
+/// every run and must come back clean.
+TEST(BenchReport, E7SmokeAuditsPass) {
+  SuiteOptions options;
+  options.smoke = true;
+  options.only = {"E7"};
+  const auto records = run_suite(options);
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_EQ(record.audit, ExperimentRecord::Audit::kOk) << record.name;
+    const auto& gauges = record.metrics.gauges();
+    ASSERT_TRUE(gauges.contains("audit_ok")) << record.name;
+    EXPECT_EQ(gauges.at("audit_ok").value(), 1.0) << record.name;
+  }
+}
+
+}  // namespace
+}  // namespace mocc::bench

@@ -1,0 +1,344 @@
+// Observability layer: JSON writer determinism, histogram percentile
+// edge cases, registry behavior, the ring-buffer trace sink (including
+// concurrent emission under sim::ParallelRunner — the tsan preset's
+// coverage of the sink mutex), and end-to-end trace capture from a
+// System run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "api/system.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/parallel.hpp"
+
+namespace mocc {
+namespace {
+
+// --- JsonWriter -------------------------------------------------------
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.field("a", std::uint64_t{1});
+  json.field("b", "x\"y\n");
+  json.key("c");
+  json.begin_array();
+  json.value(true);
+  json.value(std::int64_t{-2});
+  json.end_array();
+  json.end_object();
+  EXPECT_TRUE(json.done());
+  EXPECT_EQ(out.str(), R"({"a":1,"b":"x\"y\n","c":[true,-2]})");
+}
+
+TEST(JsonWriter, PrettyIndentation) {
+  std::ostringstream out;
+  obs::JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.field("k", std::uint64_t{7});
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"k\": 7\n}");
+}
+
+TEST(JsonWriter, DoublesAreShortestRoundTrip) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_array();
+  json.value(0.5);
+  json.value(1.0);
+  json.value(175.43859649122808);
+  json.end_array();
+  EXPECT_EQ(out.str(), "[0.5,1,175.43859649122808]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+// --- FixedHistogram ---------------------------------------------------
+
+TEST(FixedHistogram, EmptyReportsSchemaStableZeros) {
+  obs::FixedHistogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+  EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(FixedHistogram, SingleSampleIsExactAtEveryPercentile) {
+  obs::FixedHistogram h(0.0, 100.0, 10);
+  h.add(37.0);  // interior of bucket [30, 40): midpoint would be 35
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 37.0);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 37.0) << "p=" << p;
+  }
+}
+
+TEST(FixedHistogram, AllEqualSamplesAreExact) {
+  obs::FixedHistogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(42.0);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.percentile(50.0), 42.0);
+  EXPECT_EQ(h.percentile(99.0), 42.0);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+}
+
+TEST(FixedHistogram, PercentilesLandInTheRightBucket) {
+  obs::FixedHistogram h(0.0, 100.0, 100);  // 1-wide buckets
+  for (int v = 0; v < 100; ++v) h.add(v + 0.5);  // one sample per bucket
+  EXPECT_EQ(h.count(), 100u);
+  // Nearest-rank: p50 -> rank 50 -> 50th bucket [49, 50), midpoint 49.5.
+  EXPECT_EQ(h.percentile(50.0), 49.5);
+  EXPECT_EQ(h.percentile(99.0), 98.5);
+  EXPECT_EQ(h.percentile(100.0), 99.5);
+  EXPECT_EQ(h.percentile(0.0), 0.5);  // rank clamps to 1
+}
+
+TEST(FixedHistogram, OverflowAndUnderflowAreCountedAndClamped) {
+  obs::FixedHistogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 1e9);
+  // The p100 rank lands in the overflow bucket; its "midpoint" is the
+  // exact observed max (clamping), not an invented value past hi.
+  EXPECT_EQ(h.percentile(100.0), 1e9);
+  EXPECT_EQ(h.percentile(0.0), -5.0);
+}
+
+TEST(FixedHistogram, SummaryJsonShape) {
+  obs::FixedHistogram h(0.0, 10.0, 10);
+  h.add(2.0);
+  h.add(2.0);
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  h.write_summary_json(json);
+  EXPECT_EQ(out.str(),
+            R"({"count":2,"mean":2,"p50":2,"p99":2,"min":2,"max":2})");
+}
+
+// --- Registry ---------------------------------------------------------
+
+TEST(Registry, InstrumentsAreCreatedOnceAndStable) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("msgs");
+  c.inc(3);
+  registry.counter("msgs").inc();
+  EXPECT_EQ(registry.counter("msgs").value(), 4u);
+  EXPECT_EQ(&registry.counter("msgs"), &c);
+
+  registry.gauge("tput").set(1.5);
+  EXPECT_EQ(registry.gauge("tput").value(), 1.5);
+
+  obs::FixedHistogram& h = registry.histogram("q", 0.0, 10.0, 10);
+  h.add(1.0);
+  EXPECT_EQ(&registry.histogram("q", 0.0, 10.0, 10), &h);
+  EXPECT_EQ(registry.histogram("q", 0.0, 10.0, 10).count(), 1u);
+}
+
+TEST(Registry, JsonFieldsAreSortedByName) {
+  obs::Registry registry;
+  registry.counter("zeta").set(1);
+  registry.counter("alpha").set(2);
+  registry.gauge("g").set(0.25);
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  registry.write_json_fields(json);
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            R"({"counters":{"alpha":2,"zeta":1},"gauges":{"g":0.25},"histograms":{}})");
+}
+
+// --- RingBufferSink ---------------------------------------------------
+
+obs::TraceEvent event_with_id(std::uint64_t id) {
+  obs::TraceEvent event;
+  event.type = obs::TraceEventType::kMessageSend;
+  event.id = id;
+  return event;
+}
+
+TEST(RingBufferSink, KeepsNewestEventsWhenFull) {
+  obs::RingBufferSink sink(4);
+  for (std::uint64_t i = 0; i < 10; ++i) sink.on_event(event_with_id(i));
+  EXPECT_EQ(sink.total(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].id, 6 + i) << "oldest-first order after wrap";
+  }
+  sink.clear();
+  EXPECT_EQ(sink.total(), 0u);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(RingBufferSink, JsonlExport) {
+  obs::RingBufferSink sink(8);
+  obs::TraceEvent event;
+  event.type = obs::TraceEventType::kAbcastSequence;
+  event.time = 9;
+  event.node = 1;
+  event.peer = 2;
+  event.id = 5;
+  event.arg = 17;
+  sink.on_event(event);
+  std::ostringstream out;
+  obs::write_jsonl(out, sink.events());
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"abcast_sequence\",\"t\":9,\"node\":1,\"peer\":2,"
+            "\"kind\":0,\"id\":5,\"arg\":17}\n");
+}
+
+/// The concurrency contract (trace.hpp): many simulators running under a
+/// ParallelRunner may share one sink; every event must be counted and
+/// each emitter's own order preserved. TSan (the tsan preset) checks the
+/// synchronization; the assertions check the accounting.
+TEST(RingBufferSink, ConcurrentEmittersLoseNothing) {
+  constexpr std::size_t kJobs = 8;
+  constexpr std::uint64_t kEventsPerJob = 1000;
+  obs::RingBufferSink sink(kJobs * kEventsPerJob);
+  sim::ParallelRunner runner(4);
+  runner.run(kJobs, [&](std::size_t job) {
+    for (std::uint64_t i = 0; i < kEventsPerJob; ++i) {
+      obs::TraceEvent event;
+      event.node = static_cast<std::uint32_t>(job);
+      event.id = i;  // per-emitter sequence number
+      sink.on_event(event);
+    }
+  });
+  EXPECT_EQ(sink.total(), kJobs * kEventsPerJob);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), kJobs * kEventsPerJob);
+  std::vector<std::uint64_t> next_id(kJobs, 0);
+  for (const auto& event : events) {
+    EXPECT_EQ(event.id, next_id[event.node]++) << "per-emitter order broken";
+  }
+}
+
+/// Whole-system capture: a real workload on the mlin protocol must emit
+/// a consistent event stream — sends pair with deliveries, every m-op
+/// invocation gets a response, abcast positions are gapless, and virtual
+/// time never runs backwards.
+TEST(TraceCapture, SystemRunEmitsConsistentStream) {
+  obs::RingBufferSink sink(1 << 16);
+  api::SystemConfig config;
+  config.protocol = "mlin";
+  config.num_processes = 3;
+  config.num_objects = 4;
+  config.seed = 42;
+  api::System system(config);
+  system.set_trace_sink(&sink);
+  protocols::WorkloadParams params;
+  params.ops_per_process = 5;
+  params.update_ratio = 0.5;
+  system.run_workload(params);
+
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.events();
+  ASSERT_FALSE(events.empty());
+
+  std::uint64_t sends = 0, delivers = 0, invokes = 0, responds = 0;
+  std::vector<std::uint64_t> abcast_next(config.num_processes, 0);
+  std::uint64_t last_time = 0;
+  for (const auto& event : events) {
+    EXPECT_GE(event.time, last_time) << "virtual time ran backwards";
+    last_time = event.time;
+    switch (event.type) {
+      case obs::TraceEventType::kMessageSend:
+        ++sends;
+        break;
+      case obs::TraceEventType::kMessageDeliver:
+        ++delivers;
+        break;
+      case obs::TraceEventType::kMOpInvoke:
+        ++invokes;
+        break;
+      case obs::TraceEventType::kMOpRespond:
+        ++responds;
+        break;
+      case obs::TraceEventType::kAbcastSequence:
+        // Each replica sees the agreed positions 0, 1, 2, ... gaplessly.
+        EXPECT_EQ(event.id, abcast_next[event.node]++);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(sends, system.traffic().messages);
+  EXPECT_EQ(delivers, sends) << "every sent message is delivered";
+  EXPECT_EQ(invokes, config.num_processes * params.ops_per_process);
+  EXPECT_EQ(responds, invokes) << "every invocation responded";
+  // Every replica delivered every update: positions advanced in lockstep.
+  for (std::size_t node = 1; node < config.num_processes; ++node) {
+    EXPECT_EQ(abcast_next[node], abcast_next[0]);
+  }
+}
+
+/// Detaching the sink stops emission (the null-sink fast path).
+TEST(TraceCapture, DetachedSinkReceivesNothing) {
+  obs::RingBufferSink sink(64);
+  api::SystemConfig config;
+  config.protocol = "mseq";
+  config.num_processes = 2;
+  config.num_objects = 2;
+  api::System system(config);
+  system.set_trace_sink(&sink);
+  system.set_trace_sink(nullptr);
+  protocols::WorkloadParams params;
+  params.ops_per_process = 3;
+  system.run_workload(params);
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+/// Lock events appear only for the 2PL protocols and balance exactly.
+TEST(TraceCapture, LockingProtocolEmitsBalancedLockEvents) {
+  obs::RingBufferSink sink(1 << 16);
+  api::SystemConfig config;
+  config.protocol = "locking";
+  config.num_processes = 3;
+  config.num_objects = 4;
+  config.seed = 7;
+  api::System system(config);
+  system.set_trace_sink(&sink);
+  protocols::WorkloadParams params;
+  params.ops_per_process = 5;
+  params.update_ratio = 0.5;
+  system.run_workload(params);
+
+  std::uint64_t acquires = 0, releases = 0;
+  for (const auto& event : sink.events()) {
+    if (event.type == obs::TraceEventType::kLockAcquire) ++acquires;
+    if (event.type == obs::TraceEventType::kLockRelease) ++releases;
+  }
+  EXPECT_GT(acquires, 0u);
+  EXPECT_EQ(acquires, releases) << "every granted lock is released";
+}
+
+}  // namespace
+}  // namespace mocc

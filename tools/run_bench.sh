@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Benchmark artifact driver for the mocc tree.
+#
+# Usage: tools/run_bench.sh [--smoke] [--only=E1,E5] [--print]
+#                           [--out=PATH] [--trace=PATH] [--wallclock]
+#
+# Builds the bench_report driver (build/ is configured on first use) and
+# runs the E1-E7 experiment suite, writing the schema-versioned
+# BENCH_results.json artifact at the repo root (schema documented in
+# docs/observability.md). The artifact carries only deterministic
+# virtual-time metrics, so rerunning with the same flags produces a
+# byte-identical file — diff it, golden-test it, or feed it to the table
+# generators in EXPERIMENTS.md.
+#
+#   --smoke      reduced CI-sized sweeps (seconds; still covers E1-E7)
+#   --only=...   comma-separated subset of E1..E7
+#   --print      also render per-experiment tables to stdout
+#   --out=PATH   artifact path (default: BENCH_results.json)
+#   --trace=PATH additionally write a demo JSONL event trace
+#   --wallclock  additionally run the google-benchmark binaries for the
+#                selected experiments (wall-clock timing; NOT written to
+#                the JSON artifact, which must stay deterministic)
+#
+# All flags other than --wallclock are forwarded to bench_report.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+WALLCLOCK=0
+ONLY=""
+FORWARD=()
+for arg in "$@"; do
+  case "${arg}" in
+    --wallclock) WALLCLOCK=1 ;;
+    --only=*) ONLY="${arg#--only=}"; FORWARD+=("${arg}") ;;
+    *) FORWARD+=("${arg}") ;;
+  esac
+done
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_report
+
+"${BUILD_DIR}/bench/bench_report" "${FORWARD[@]+"${FORWARD[@]}"}"
+
+if [ "${WALLCLOCK}" -eq 1 ]; then
+  declare -A BINARIES=(
+    [E1]=bench_e1_query_latency
+    [E2]=bench_e2_update_latency
+    [E3]=bench_e3_message_complexity
+    [E4]=bench_e4_np_checker
+    [E5]=bench_e5_constrained_checker
+    [E6]=bench_e6_baselines
+    [E7]=bench_e7_asynchrony
+  )
+  SELECTED=(E1 E2 E3 E4 E5 E6 E7)
+  if [ -n "${ONLY}" ]; then
+    IFS=',' read -r -a SELECTED <<<"${ONLY}"
+  fi
+  for exp in "${SELECTED[@]}"; do
+    bin="${BINARIES[${exp}]:-}"
+    if [ -z "${bin}" ]; then
+      echo "unknown experiment '${exp}' (expected E1..E7)" >&2
+      exit 2
+    fi
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target "${bin}"
+    echo
+    echo "== wall clock: ${exp} (${bin}) =="
+    "${BUILD_DIR}/bench/${bin}"
+  done
+fi
