@@ -1,0 +1,72 @@
+// E8 — Fault tolerance: message overhead and delivery latency vs fault
+// rate.
+//
+// The §5 protocols assume reliable channels; src/fault discharges that
+// assumption with an ack/retransmit link under seed-driven drop and
+// duplication. This sweep measures what the discharge costs: msg_per_op
+// grows with the drop rate (acks double the baseline; retransmits add
+// the tail) and latency tails stretch by the retransmit timeout, while
+// audit_ok must stay 1 at every point — the consistency conditions are
+// non-negotiable, only the price moves.
+//
+// Counters: q_mean, u_mean, q_p99, u_p99, msg_per_op, retransmit_rate,
+// fault_drops, link_retransmits, link_dedup, audit_ok.
+#include "common.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void Faults(::benchmark::State& state, const std::string& protocol, int drop_pct,
+            bool link_on) {
+  RunResult result;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = protocol;
+    config.num_processes = 4;
+    config.num_objects = 8;
+    config.delay = "lan";
+    config.seed = 77;
+    if (link_on) {
+      config.reliable_link = true;
+      // Above the worst-case lan RTT, as in run_e8: isolates real loss
+      // recovery from spurious timeout retransmits.
+      config.link.initial_rto = 40;
+      config.faults.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+      config.faults.default_link.drop_rate = drop_pct / 100.0;
+      config.faults.default_link.duplicate_rate = 0.05;
+    }
+    protocols::WorkloadParams params;
+    params.ops_per_process = 25;
+    params.update_ratio = 0.5;
+    params.footprint = 2;
+    result = run_experiment(config, params, /*run_audit=*/true);
+  }
+  set_run_counters(state, result);
+  obs::Registry registry;
+  register_fault_metrics(registry, result);
+  export_metrics(state, registry);
+}
+
+void register_all() {
+  for (const char* protocol : {"mseq", "mlin"}) {
+    auto* baseline = ::benchmark::RegisterBenchmark(
+        (std::string("E8/faults/") + protocol + "/drop0/raw").c_str(),
+        [protocol](::benchmark::State& state) { Faults(state, protocol, 0, false); });
+    baseline->Iterations(1)->Unit(::benchmark::kMillisecond);
+    for (const int drop_pct : {0, 2, 5, 10}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E8/faults/") + protocol + "/drop" +
+           std::to_string(drop_pct) + "/link")
+              .c_str(),
+          [protocol, drop_pct](::benchmark::State& state) {
+            Faults(state, protocol, drop_pct, true);
+          });
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

@@ -31,6 +31,11 @@ RunResult run_experiment(const api::SystemConfig& config,
     result.audit_ran = true;
     result.audit_ok = system.audit().ok;
   }
+  if (const fault::FaultPlan* plan = system.fault_plan()) {
+    result.faults = plan->stats();
+  }
+  result.link = system.link_stats();
+  result.link_failures = system.link_failures().size();
   return result;
 }
 
@@ -61,6 +66,22 @@ void register_run_metrics(obs::Registry& registry, const RunResult& result) {
   if (result.audit_ran) {
     registry.gauge("audit_ok").set(result.audit_ok ? 1.0 : 0.0);
   }
+}
+
+void register_fault_metrics(obs::Registry& registry, const RunResult& result) {
+  registry.counter("fault_drops").set(result.faults.drops);
+  registry.counter("fault_duplicates").set(result.faults.duplicates);
+  registry.counter("fault_delay_spikes").set(result.faults.delay_spikes);
+  registry.counter("fault_partition_drops").set(result.faults.partition_drops);
+  registry.counter("link_data").set(result.link.data_sent);
+  registry.counter("link_retransmits").set(result.link.retransmits);
+  registry.counter("link_acks").set(result.link.acks_sent);
+  registry.counter("link_dedup").set(result.link.duplicates_suppressed);
+  registry.counter("link_exhausted").set(result.link.exhausted);
+  registry.counter("link_failures").set(result.link_failures);
+  const double data = static_cast<double>(std::max<std::uint64_t>(result.link.data_sent, 1));
+  registry.gauge("retransmit_rate")
+      .set(static_cast<double>(result.link.retransmits) / data);
 }
 
 bool experiment_selected(const SuiteOptions& options, std::string_view experiment) {
@@ -533,11 +554,76 @@ std::vector<ExperimentRecord> run_e7(const SuiteOptions& options) {
   return records;
 }
 
+std::vector<ExperimentRecord> run_e8(const SuiteOptions& options) {
+  // Message overhead and delivery latency versus fault rate. Each
+  // protocol contributes one fault-free baseline with the link DETACHED
+  // (drop_pct=0, link=off — the pre-fault stack, byte-identical traffic)
+  // plus the reliable-link stack swept over drop rates; drop_pct=0 with
+  // link=on isolates the link's own ack overhead. Audits run on every
+  // point: the consistency conditions must hold at every fault rate.
+  const std::vector<std::string> protocols =
+      options.smoke ? std::vector<std::string>{"mlin"}
+                    : std::vector<std::string>{"mseq", "mlin"};
+  const std::vector<int> drop_pcts = options.smoke
+                                         ? std::vector<int>{0, 5}
+                                         : std::vector<int>{0, 2, 5, 10};
+  std::vector<ExperimentRecord> records;
+  for (const auto& protocol : protocols) {
+    api::SystemConfig base;
+    base.protocol = protocol;
+    base.num_processes = options.smoke ? 3 : 4;
+    base.num_objects = 8;
+    base.delay = "lan";
+    base.seed = 77;
+    // RTO above the worst-case lan RTT (2x uniform[5,15] = 30 ticks):
+    // without this every frame is spuriously retransmitted once and the
+    // drop-rate signal drowns in timeout noise.
+    base.link.initial_rto = 40;
+    protocols::WorkloadParams params;
+    params.ops_per_process = options.smoke ? 8 : 25;
+    params.update_ratio = 0.5;
+    params.footprint = 2;
+
+    auto push = [&](const api::SystemConfig& config, int drop_pct, bool link_on) {
+      ExperimentRecord record;
+      record.experiment = "E8";
+      record.name = "E8/faults/" + protocol + "/drop" + std::to_string(drop_pct) +
+                    (link_on ? "/link" : "/raw");
+      record.config = sim_config_map(config, params);
+      record.config["drop_pct"] = std::to_string(drop_pct);
+      record.config["dup_pct"] = link_on ? "5" : "0";
+      record.config["link"] = link_on ? "on" : "off";
+      const RunResult result = run_experiment(config, params, /*run_audit=*/true);
+      register_run_metrics(record.metrics, result);
+      register_fault_metrics(record.metrics, result);
+      record.traffic = result.traffic;
+      if (result.audit_ran) {
+        record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
+                                       : ExperimentRecord::Audit::kFailed;
+      }
+      records.push_back(std::move(record));
+    };
+
+    // Baseline: the pre-fault stack (no injector, no link).
+    push(base, 0, /*link_on=*/false);
+
+    for (const int drop_pct : drop_pcts) {
+      api::SystemConfig config = base;
+      config.reliable_link = true;
+      config.faults.seed = base.seed ^ 0x9e3779b97f4a7c15ULL;
+      config.faults.default_link.drop_rate = drop_pct / 100.0;
+      config.faults.default_link.duplicate_rate = 0.05;
+      push(config, drop_pct, /*link_on=*/true);
+    }
+  }
+  return records;
+}
+
 std::vector<ExperimentRecord> run_suite(const SuiteOptions& options) {
   using Runner = std::vector<ExperimentRecord> (*)(const SuiteOptions&);
   constexpr std::pair<const char*, Runner> kExperiments[] = {
       {"E1", run_e1}, {"E2", run_e2}, {"E3", run_e3}, {"E4", run_e4},
-      {"E5", run_e5}, {"E6", run_e6}, {"E7", run_e7},
+      {"E5", run_e5}, {"E6", run_e6}, {"E7", run_e7}, {"E8", run_e8},
   };
   std::vector<ExperimentRecord> records;
   for (const auto& [name, runner] : kExperiments) {
@@ -599,6 +685,15 @@ void write_records_json(std::ostream& out,
   obs::JsonWriter json(out, /*pretty=*/true);
   json.begin_object();
   json.field("schema_version", kBenchSchemaVersion);
+  // Additive minor revision, emitted only when a record actually uses the
+  // minor-1 fields (E8's fault/link metrics): pre-fault artifacts — and
+  // their goldens — stay byte-identical.
+  const bool has_fault_records =
+      std::any_of(records.begin(), records.end(),
+                  [](const ExperimentRecord& r) { return r.experiment == "E8"; });
+  if (has_fault_records) {
+    json.field("schema_minor", kBenchSchemaVersionMinor);
+  }
   json.field("suite", "mocc-bench");
   json.field("mode", options.smoke ? "smoke" : "full");
   json.key("only");

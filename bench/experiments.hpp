@@ -1,4 +1,4 @@
-// Experiment suite E1-E7 as a library: shared run helpers, the metrics
+// Experiment suite E1-E8 as a library: shared run helpers, the metrics
 // each experiment registers (through obs::Registry), and the
 // machine-readable record schema behind BENCH_results.json.
 //
@@ -35,6 +35,13 @@ namespace mocc::bench {
 /// BENCH_results.json must check it (documented in docs/observability.md).
 inline constexpr int kBenchSchemaVersion = 1;
 
+/// Additive schema revision: headers gain a "schema_minor" field when —
+/// and only when — the record set contains an E8 (fault) record, whose
+/// fault/link metrics are the minor-1 addition. Artifacts without E8
+/// records serialize exactly as minor 0 did, so fixed-seed goldens from
+/// before the fault subsystem stay byte-identical.
+inline constexpr int kBenchSchemaVersionMinor = 1;
+
 /// Latency histogram shape shared by every experiment: virtual-tick
 /// latencies land in [0, 4096) at 4-tick resolution, which covers every
 /// delay model's tail at the benchmarked scales (overflow is still
@@ -50,6 +57,11 @@ struct RunResult {
   bool audit_ran = false;
   bool audit_ok = false;  // meaningful only when audit_ran
   std::size_t history_size = 0;
+  /// Fault-injection accounting (all zero when config.faults disabled).
+  fault::FaultStats faults;
+  /// Aggregate reliable-link counters (all zero when the link is off).
+  fault::LinkStats link;
+  std::size_t link_failures = 0;  ///< retry-budget exhaustions
 };
 
 /// Builds a system, drives the closed-loop workload, and collects the
@@ -77,12 +89,21 @@ void register_latency_metrics(obs::Registry& registry,
 /// virtual ticks), and — when the run audited — gauge `audit_ok`.
 void register_run_metrics(obs::Registry& registry, const RunResult& result);
 
+/// Fault and reliable-link series for E8 records: counters
+/// `fault_drops` / `fault_duplicates` / `fault_delay_spikes` /
+/// `fault_partition_drops`, `link_data` / `link_retransmits` /
+/// `link_acks` / `link_dedup` / `link_exhausted`, and gauge
+/// `retransmit_rate` (resends per first transmission). Kept separate
+/// from register_run_metrics so fault-free experiments keep their
+/// pre-fault schema.
+void register_fault_metrics(obs::Registry& registry, const RunResult& result);
+
 /// One row of BENCH_results.json: a named configuration point of one
 /// experiment plus everything measured there.
 struct ExperimentRecord {
   enum class Audit : std::uint8_t { kNotApplicable, kOk, kFailed };
 
-  std::string experiment;                      // "E1" .. "E7"
+  std::string experiment;                      // "E1" .. "E8"
   std::string name;                            // "E1/query_latency/mseq/lan/n2"
   std::map<std::string, std::string> config;   // the exact sweep point
   obs::Registry metrics;
@@ -94,7 +115,7 @@ struct SuiteOptions {
   /// Reduced sweeps (CI-sized: seconds, not minutes). Every experiment
   /// still contributes records; only the grid shrinks.
   bool smoke = false;
-  /// Subset of {"E1",..,"E7"}; empty = all.
+  /// Subset of {"E1",..,"E8"}; empty = all.
   std::vector<std::string> only;
 };
 
@@ -108,6 +129,10 @@ std::vector<ExperimentRecord> run_e4(const SuiteOptions& options);
 std::vector<ExperimentRecord> run_e5(const SuiteOptions& options);
 std::vector<ExperimentRecord> run_e6(const SuiteOptions& options);
 std::vector<ExperimentRecord> run_e7(const SuiteOptions& options);
+/// E8: message overhead and delivery latency versus fault rate — the
+/// reliable-link stack swept over drop rates, against a fault-free
+/// baseline with the link detached.
+std::vector<ExperimentRecord> run_e8(const SuiteOptions& options);
 
 /// Runs every selected experiment in order. Deterministic: same options
 /// → identical records.

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/reliable_link.hpp"
 #include "sim/simulator.hpp"
 
 namespace mocc::abcast {
@@ -62,8 +63,37 @@ class AtomicBroadcast {
 
   virtual std::string name() const = 0;
 
+  /// Routes every network send through `link` (not owned; the hosting
+  /// replica owns one link per node and shares it across layers). Null —
+  /// the default — sends raw, assuming the reliable network of the
+  /// paper's model.
+  void set_reliable_link(fault::ReliableLink* link) { link_ = link; }
+
  protected:
+  /// Send indirection used by the concrete algorithms: raw Context::send
+  /// when no link is attached, reliable (ack + retransmit) otherwise.
+  void send(sim::Context& ctx, sim::NodeId to, std::uint32_t kind,
+            std::vector<std::uint8_t> payload) {
+    if (link_ != nullptr) {
+      link_->send(ctx, to, kind, std::move(payload));
+      return;
+    }
+    ctx.send(to, kind, std::move(payload));
+  }
+
+  void send_to_others(sim::Context& ctx, std::uint32_t kind,
+                      const std::vector<std::uint8_t>& payload) {
+    if (link_ == nullptr) {
+      ctx.send_to_others(kind, payload);
+      return;
+    }
+    for (sim::NodeId to = 0; to < ctx.num_nodes(); ++to) {
+      if (to != ctx.self()) link_->send(ctx, to, kind, payload);
+    }
+  }
+
   DeliverFn deliver_;
+  fault::ReliableLink* link_ = nullptr;
 };
 
 /// Factory: one instance per node.

@@ -13,7 +13,7 @@ void IsisAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload)
   out.put_u32(ctx.self());
   out.put_u64(msgid);
   out.put_string(std::string(payload.begin(), payload.end()));
-  ctx.send_to_others(kPropose, out.bytes());
+  send_to_others(ctx, kPropose, out.bytes());
 
   // Own proposal.
   const Stamp own{++lamport_, ctx.self()};
@@ -37,7 +37,7 @@ void IsisAbcast::handle_propose(sim::Context& ctx, sim::NodeId origin,
   out.put_u64(msgid);
   out.put_u64(proposal.clock);
   out.put_u32(proposal.node);
-  ctx.send(origin, kProposal, out.take());
+  send(ctx, origin, kProposal, out.take());
 
   // A FINAL may have arrived before the PROPOSE.
   if (const auto it = early_finals_.find(key); it != early_finals_.end()) {
@@ -62,7 +62,7 @@ void IsisAbcast::handle_proposal(sim::Context& ctx, std::uint64_t msgid,
   out.put_u64(msgid);
   out.put_u64(final_stamp.clock);
   out.put_u32(final_stamp.node);
-  ctx.send_to_others(kFinal, out.bytes());
+  send_to_others(ctx, kFinal, out.bytes());
 
   finalize(ctx, {ctx.self(), msgid}, final_stamp);
   collecting_.erase(it);

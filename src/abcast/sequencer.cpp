@@ -15,7 +15,7 @@ void SequencerAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> pay
   out.put_u32(ctx.self());
   out.put_u64_vector({});  // reserved
   out.put_string(std::string(payload.begin(), payload.end()));
-  ctx.send(kSequencerNode, kSubmit, out.take());
+  send(ctx, kSequencerNode, kSubmit, out.take());
 }
 
 void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin,
@@ -26,7 +26,7 @@ void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin
   out.put_u64(seq);
   out.put_u32(origin);
   out.put_string(std::string(payload.begin(), payload.end()));
-  ctx.send_to_others(kDeliver, out.bytes());
+  send_to_others(ctx, kDeliver, out.bytes());
   // Local delivery without a network hop.
   accept(ctx, seq, origin, payload);
 }

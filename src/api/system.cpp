@@ -35,6 +35,10 @@ System::System(const SystemConfig& config) : config_(config) {
                                                              config.num_objects);
   sim_ = std::make_unique<sim::Simulator>(sim::make_delay_model(config.delay),
                                           config.seed);
+  if (config.faults.enabled()) {
+    fault_plan_ = std::make_unique<fault::FaultPlan>(config.faults);
+    sim_->set_fault_injector(fault_plan_.get());
+  }
 
   const bool is_mseq = config.protocol == "mseq";
   const bool is_mlin_bcastq = config.protocol == "mlin-bcastq";
@@ -66,6 +70,11 @@ System::System(const SystemConfig& config) : config_(config) {
       options.aggregate = is_aggregate;
       replica = std::make_unique<protocols::LockingReplica>(
           config.num_objects, config.num_processes, *recorder_, options);
+    }
+    if (config.reliable_link) {
+      auto link = std::make_unique<fault::ReliableLink>(config.link);
+      link->set_shared_stats(&link_stats_);
+      replica->set_reliable_link(std::move(link));
     }
     replicas_.push_back(replica.get());
     sim_->add_node(std::move(replica));
@@ -164,6 +173,16 @@ core::AdmissibilityResult System::check_exact(
 }
 
 const sim::TrafficStats& System::traffic() const { return sim_->traffic(); }
+
+std::vector<fault::FailedSend> System::link_failures() const {
+  std::vector<fault::FailedSend> failures;
+  for (const protocols::Replica* replica : replicas_) {
+    if (const fault::ReliableLink* link = replica->reliable_link()) {
+      failures.insert(failures.end(), link->failed().begin(), link->failed().end());
+    }
+  }
+  return failures;
+}
 
 void System::set_trace_sink(obs::TraceSink* sink) { sim_->set_trace_sink(sink); }
 

@@ -31,6 +31,8 @@
 #include "core/audit.hpp"
 #include "core/fast_check.hpp"
 #include "core/history.hpp"
+#include "fault/fault.hpp"
+#include "fault/reliable_link.hpp"
 #include "protocols/recorder.hpp"
 #include "protocols/replica.hpp"
 #include "protocols/workload.hpp"
@@ -50,6 +52,14 @@ struct SystemConfig {
   std::uint64_t seed = 42;
   /// §5.2 remark: narrow query replies (applies to "mlin-narrow").
   bool narrow_replies = false;
+  /// Fault injection (src/fault): attached to the simulator only when
+  /// faults.enabled() — a default plan costs nothing and leaves the
+  /// execution byte-identical to a fault-free build.
+  fault::FaultPlanConfig faults;
+  /// Route every replica (and abcast) send through an ack/retransmit
+  /// reliable link. Off by default: the paper assumes reliable channels.
+  bool reliable_link = false;
+  fault::ReliableLink::Options link;
 };
 
 class System {
@@ -97,6 +107,14 @@ class System {
   const sim::TrafficStats& traffic() const;
   const protocols::ExecutionRecorder& recorder() const { return *recorder_; }
 
+  /// The attached fault plan, or null when config.faults was disabled.
+  const fault::FaultPlan* fault_plan() const { return fault_plan_.get(); }
+  /// Aggregate reliable-link counters across every node (all zero when
+  /// config.reliable_link is off).
+  const fault::LinkStats& link_stats() const { return link_stats_; }
+  /// Retry-budget exhaustions gathered from every node's link.
+  std::vector<fault::FailedSend> link_failures() const;
+
   /// Attaches an observability trace sink (obs/trace.hpp) to the
   /// underlying simulator. Not owned — it must outlive the system or be
   /// detached with nullptr. Message, m-operation, lock, and abcast
@@ -107,6 +125,8 @@ class System {
  private:
   SystemConfig config_;
   std::unique_ptr<protocols::ExecutionRecorder> recorder_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;  // null unless enabled
+  fault::LinkStats link_stats_;  // shared sink of every replica's link
   std::unique_ptr<sim::Simulator> sim_;
   std::vector<protocols::Replica*> replicas_;  // owned by sim_
   /// Per-process queue serialization for submit().

@@ -1,0 +1,175 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "api/system.hpp"
+
+namespace mocc::chaos {
+
+namespace {
+
+struct CellOutcome {
+  std::size_t runs = 0;
+  std::size_t passed = 0;
+};
+
+void accumulate(fault::FaultStats& into, const fault::FaultStats& from) {
+  into.sends_seen += from.sends_seen;
+  into.drops += from.drops;
+  into.duplicates += from.duplicates;
+  into.delay_spikes += from.delay_spikes;
+  into.partition_drops += from.partition_drops;
+  into.crash_discards += from.crash_discards;
+}
+
+void accumulate(fault::LinkStats& into, const fault::LinkStats& from) {
+  into.data_sent += from.data_sent;
+  into.retransmits += from.retransmits;
+  into.acks_sent += from.acks_sent;
+  into.delivered += from.delivered;
+  into.duplicates_suppressed += from.duplicates_suppressed;
+  into.exhausted += from.exhausted;
+}
+
+/// One execution. Returns an empty string on pass, a reason on failure.
+std::string run_one(const ChaosParams& params, const std::string& protocol,
+                    const std::string& broadcast, double drop_rate,
+                    std::uint64_t seed, ChaosReport& report) {
+  api::SystemConfig config;
+  config.num_processes = params.num_processes;
+  config.num_objects = params.num_objects;
+  config.protocol = protocol;
+  config.broadcast = broadcast;
+  config.delay = "lan";
+  config.seed = seed;
+  config.reliable_link = true;
+  config.faults.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  config.faults.default_link.drop_rate = drop_rate;
+  config.faults.default_link.duplicate_rate = params.duplicate_rate;
+  config.faults.default_link.delay_spike_rate = params.delay_spike_rate;
+  config.faults.default_link.delay_spike = params.delay_spike;
+  if (params.partition && params.num_processes >= 2) {
+    // One partition/heal cycle isolating node 0. The reliable link's
+    // backoff horizon (sum of the retransmit schedule) comfortably
+    // exceeds the outage, so healed traffic recovers.
+    config.faults.partitions.push_back(
+        {params.partition_start, params.partition_heal, {0}});
+  }
+
+  const bool exact = protocol == "locking" || protocol == "aggregate";
+  protocols::WorkloadParams workload;
+  // The exponential checker is the only oracle for the locking baseline:
+  // keep those histories small.
+  workload.ops_per_process =
+      exact ? std::min<std::size_t>(params.ops_per_process, 4)
+            : params.ops_per_process;
+  workload.update_ratio = 0.5;
+  workload.footprint = 2;
+
+  api::System system(config);
+  const protocols::WorkloadReport run = system.run_workload(workload);
+
+  if (const fault::FaultPlan* plan = system.fault_plan()) {
+    accumulate(report.faults, plan->stats());
+  }
+  accumulate(report.link, system.link_stats());
+
+  const std::size_t expected = workload.ops_per_process * params.num_processes;
+  if (run.queries + run.updates != expected) {
+    std::ostringstream reason;
+    reason << "incomplete workload: " << (run.queries + run.updates) << "/"
+           << expected << " m-operations responded";
+    return reason.str();
+  }
+  if (!system.link_failures().empty()) {
+    std::ostringstream reason;
+    reason << system.link_failures().size() << " reliable-link sends exhausted "
+           << "their retry budget";
+    return reason.str();
+  }
+
+  if (system.supports_audit()) {
+    const core::AuditReport audit = system.audit();
+    if (!audit.ok) {
+      std::string reason = "audit violation";
+      if (!audit.violations.empty()) reason += ": " + audit.violations.front();
+      return reason;
+    }
+    return {};
+  }
+  core::AdmissibilityOptions options;
+  options.max_states = 5'000'000;
+  const core::AdmissibilityResult result =
+      system.check_exact(core::Condition::kMLinearizability, options);
+  if (!result.completed) return "admissibility search exceeded the state budget";
+  if (!result.admissible) return "history not m-linearizable";
+  return {};
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosParams& params, std::ostream* progress) {
+  ChaosReport report;
+  for (const std::string& protocol : params.protocols) {
+    const bool uses_abcast = protocol != "locking" && protocol != "aggregate";
+    for (const double drop_rate : params.drop_rates) {
+      CellOutcome cell;
+      for (std::size_t i = 0; i < params.seeds_per_cell; ++i) {
+        const std::uint64_t seed = params.base_seed + i;
+        // Alternate broadcast algorithms so both see faults.
+        const std::string broadcast =
+            uses_abcast && (i % 2 == 1) ? "isis" : "sequencer";
+        const std::string reason =
+            run_one(params, protocol, broadcast, drop_rate, seed, report);
+        ++report.runs;
+        ++cell.runs;
+        if (reason.empty()) {
+          ++report.passed;
+          ++cell.passed;
+        } else {
+          report.failures.push_back(
+              {protocol, uses_abcast ? broadcast : "", drop_rate, seed, reason});
+        }
+      }
+      if (progress != nullptr) {
+        *progress << "chaos " << protocol << " drop=" << drop_rate << " seeds="
+                  << cell.runs << " passed=" << cell.passed << "\n";
+      }
+    }
+  }
+  return report;
+}
+
+ChaosParams smoke_params() {
+  ChaosParams params;
+  params.protocols = {"mseq", "mlin", "locking"};
+  params.drop_rates = {0.10};
+  params.seeds_per_cell = 4;
+  params.ops_per_process = 6;
+  return params;
+}
+
+void write_report(std::ostream& out, const ChaosParams& params,
+                  const ChaosReport& report) {
+  out << "chaos sweep: " << report.runs << " executions, " << report.passed
+      << " passed, " << report.failures.size() << " failed\n";
+  out << "  faults: drops=" << report.faults.drops
+      << " duplicates=" << report.faults.duplicates
+      << " delay_spikes=" << report.faults.delay_spikes
+      << " partition_drops=" << report.faults.partition_drops << "\n";
+  out << "  link: data=" << report.link.data_sent
+      << " retransmits=" << report.link.retransmits
+      << " acks=" << report.link.acks_sent
+      << " dedup=" << report.link.duplicates_suppressed
+      << " exhausted=" << report.link.exhausted << "\n";
+  (void)params;
+  for (const ChaosFailure& failure : report.failures) {
+    out << "  FAIL " << failure.protocol;
+    if (!failure.broadcast.empty()) out << "/" << failure.broadcast;
+    out << " drop=" << failure.drop_rate << " seed=" << failure.seed << ": "
+        << failure.reason << "\n";
+  }
+}
+
+}  // namespace mocc::chaos

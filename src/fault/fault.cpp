@@ -1,0 +1,92 @@
+#include "fault/fault.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mocc::fault {
+
+namespace {
+
+bool contains(const std::vector<sim::NodeId>& group, sim::NodeId node) {
+  for (sim::NodeId member : group) {
+    if (member == node) return true;
+  }
+  return false;
+}
+
+bool active(sim::SimTime start, sim::SimTime end, sim::SimTime now) {
+  return now >= start && (end == 0 || now < end);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+const LinkFaults& FaultPlan::faults_for(sim::NodeId from, sim::NodeId to) const {
+  for (const LinkOverride& link : config_.link_overrides) {
+    if (link.from == from && link.to == to) return link.faults;
+  }
+  return config_.default_link;
+}
+
+bool FaultPlan::partitioned(sim::NodeId from, sim::NodeId to,
+                            sim::SimTime now) const {
+  for (const PartitionEpisode& episode : config_.partitions) {
+    if (!active(episode.start, episode.heal, now)) continue;
+    if (contains(episode.group, from) != contains(episode.group, to)) return true;
+  }
+  return false;
+}
+
+FaultPlan::SendAction FaultPlan::on_send(sim::NodeId from, sim::NodeId to,
+                                         std::uint32_t kind, sim::SimTime now) {
+  (void)kind;
+  ++stats_.sends_seen;
+  SendAction action;
+
+  // Partition cut comes first and draws no randomness, so the random
+  // fault stream stays aligned across runs that vary only the schedule.
+  if (partitioned(from, to, now)) {
+    ++stats_.partition_drops;
+    action.drop = true;
+    return action;
+  }
+
+  const LinkFaults& faults = faults_for(from, to);
+  if (faults.drop_rate > 0.0 && rng_.next_double() < faults.drop_rate) {
+    ++stats_.drops;
+    action.drop = true;
+    return action;
+  }
+  if (faults.duplicate_rate > 0.0 && rng_.next_double() < faults.duplicate_rate) {
+    ++stats_.duplicates;
+    action.duplicates = 1;
+  }
+  if (faults.delay_spike_rate > 0.0 && faults.delay_spike > 0 &&
+      rng_.next_double() < faults.delay_spike_rate) {
+    ++stats_.delay_spikes;
+    action.extra_delay = faults.delay_spike;
+  }
+  return action;
+}
+
+bool FaultPlan::is_down(sim::NodeId node, sim::SimTime now) {
+  for (const CrashEpisode& episode : config_.crashes) {
+    if (episode.node == node && active(episode.at, episode.restart, now)) {
+      ++stats_.crash_discards;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::export_metrics(obs::Registry& registry) const {
+  registry.counter("fault_sends_seen").set(stats_.sends_seen);
+  registry.counter("fault_drops").set(stats_.drops);
+  registry.counter("fault_duplicates").set(stats_.duplicates);
+  registry.counter("fault_delay_spikes").set(stats_.delay_spikes);
+  registry.counter("fault_partition_drops").set(stats_.partition_drops);
+  registry.counter("fault_crash_discards").set(stats_.crash_discards);
+}
+
+}  // namespace mocc::fault

@@ -1,0 +1,135 @@
+// Deterministic, seed-driven fault injection.
+//
+// The simulator models the paper's assumed network: reliable channels
+// with unbounded reordering. FaultPlan breaks that assumption on
+// purpose — dropping, duplicating, and delay-spiking individual links,
+// partitioning node groups on a schedule, and crash-stopping actors — so
+// that the reliable-delivery layer (fault/reliable_link.hpp) and the
+// protocols above it can be shown to restore the paper's consistency
+// guarantees over a faulty network.
+//
+// Determinism: the plan owns its own util::Rng, seeded independently of
+// the simulator's. The simulator consults the plan once per send in send
+// order, so the fault sequence is a pure function of (plan seed, send
+// sequence) and a detached simulator's RNG stream is untouched — runs
+// with faults disabled stay byte-identical to a build without the hook.
+//
+// Precedence per send: partition check first (deterministic, no rng
+// draw), then the link's random drop / duplicate / delay-spike draws.
+// Partitioned sends therefore cost zero rng draws, keeping the random
+// fault stream aligned across runs that differ only in partition
+// schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace mocc::obs {
+class Registry;
+}
+
+namespace mocc::fault {
+
+/// Per-link random fault rates. All probabilities in [0, 1].
+struct LinkFaults {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;  ///< chance of one extra copy
+  double delay_spike_rate = 0.0;
+  sim::SimTime delay_spike = 0;  ///< extra ticks when a spike fires
+
+  bool any() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 ||
+           (delay_spike_rate > 0.0 && delay_spike > 0);
+  }
+};
+
+/// Directed link override: faults for messages from `from` to `to`.
+struct LinkOverride {
+  sim::NodeId from = 0;
+  sim::NodeId to = 0;
+  LinkFaults faults;
+};
+
+/// One partition episode: during [start, heal), nodes inside `group`
+/// cannot exchange messages with nodes outside it (both directions are
+/// cut; delivery inside the group and inside its complement continues).
+/// heal == 0 means the partition never heals.
+struct PartitionEpisode {
+  sim::SimTime start = 0;
+  sim::SimTime heal = 0;
+  std::vector<sim::NodeId> group;
+};
+
+/// One crash-stop episode: `node` is down during [at, restart) —
+/// deliveries and timers dispatched to it are silently discarded by the
+/// simulator. restart == 0 means crash forever. The actor's in-memory
+/// state survives (checkpoint-recovery model); lost events stay lost.
+struct CrashEpisode {
+  sim::NodeId node = 0;
+  sim::SimTime at = 0;
+  sim::SimTime restart = 0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  /// Applied to every directed link without an explicit override.
+  LinkFaults default_link;
+  std::vector<LinkOverride> link_overrides;
+  std::vector<PartitionEpisode> partitions;
+  std::vector<CrashEpisode> crashes;
+
+  /// True when the plan can perturb anything; System only attaches the
+  /// injector (and pays its branch) when this holds.
+  bool enabled() const {
+    if (default_link.any() || !partitions.empty() || !crashes.empty()) return true;
+    for (const LinkOverride& link : link_overrides) {
+      if (link.faults.any()) return true;
+    }
+    return false;
+  }
+};
+
+/// What the plan actually did, for reports and assertions.
+struct FaultStats {
+  std::uint64_t sends_seen = 0;
+  std::uint64_t drops = 0;  ///< random link drops (excludes partition drops)
+  std::uint64_t duplicates = 0;
+  std::uint64_t delay_spikes = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t crash_discards = 0;  ///< deliveries + timers discarded while down
+};
+
+/// Concrete sim::FaultInjector driven by a FaultPlanConfig.
+class FaultPlan final : public sim::FaultInjector {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  SendAction on_send(sim::NodeId from, sim::NodeId to, std::uint32_t kind,
+                     sim::SimTime now) override;
+  bool is_down(sim::NodeId node, sim::SimTime now) override;
+
+  const FaultPlanConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// True when `from` and `to` are separated by an active partition at
+  /// `now`. Pure — no rng draw, no stats update.
+  bool partitioned(sim::NodeId from, sim::NodeId to, sim::SimTime now) const;
+
+  /// Counters "fault_drops", "fault_duplicates", "fault_delay_spikes",
+  /// "fault_partition_drops", "fault_crash_discards", "fault_sends_seen"
+  /// (set, not incremented — idempotent re-export).
+  void export_metrics(obs::Registry& registry) const;
+
+ private:
+  const LinkFaults& faults_for(sim::NodeId from, sim::NodeId to) const;
+
+  FaultPlanConfig config_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mocc::fault

@@ -1,0 +1,147 @@
+#include "fault/reliable_link.hpp"
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace mocc::fault {
+
+namespace {
+
+/// kLinkData frame: u64 seq | u32 inner kind | raw inner payload.
+constexpr std::size_t kDataHeaderBytes = 12;
+
+std::vector<std::uint8_t> encode_data(std::uint64_t seq, std::uint32_t kind,
+                                      const std::vector<std::uint8_t>& payload) {
+  util::ByteWriter writer;
+  writer.put_u64(seq);
+  writer.put_u32(kind);
+  std::vector<std::uint8_t> frame = writer.take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+ReliableLink::ReliableLink(Options options) : options_(options) {
+  MOCC_ASSERT(options_.initial_rto >= 1);
+  MOCC_ASSERT(options_.backoff >= 1.0);
+  MOCC_ASSERT(options_.max_rto >= options_.initial_rto);
+}
+
+void ReliableLink::bump(std::uint64_t LinkStats::* field) {
+  ++(stats_.*field);
+  if (shared_ != nullptr) ++(shared_->*field);
+}
+
+void ReliableLink::send(sim::Context& ctx, sim::NodeId to, std::uint32_t kind,
+                        std::vector<std::uint8_t> payload) {
+  MOCC_ASSERT_MSG(to != ctx.self(), "reliable link never loops back to self");
+  const std::uint64_t seq = ++next_seq_[to];
+  const std::uint64_t token = next_token_++;
+
+  Pending pending;
+  pending.to = to;
+  pending.seq = seq;
+  pending.kind = kind;
+  pending.frame = encode_data(seq, kind, payload);
+  pending.rto = options_.initial_rto;
+  pending.attempts = 1;
+
+  ctx.send(to, kLinkData, pending.frame);
+  ctx.set_timer(pending.rto, kLinkTimerTag | token);
+  token_by_dest_[{to, seq}] = token;
+  pending_.emplace(token, std::move(pending));
+  bump(&LinkStats::data_sent);
+}
+
+bool ReliableLink::on_message(sim::Context& ctx, const sim::Message& message) {
+  if (message.kind == kLinkAck) {
+    util::ByteReader reader(message.payload);
+    const std::uint64_t seq = reader.get_u64();
+    const auto key = std::make_pair(message.from, seq);
+    auto token_it = token_by_dest_.find(key);
+    if (token_it != token_by_dest_.end()) {
+      pending_.erase(token_it->second);
+      token_by_dest_.erase(token_it);
+    }
+    // Acks for already-settled seqs (duplicated ack, or ack after
+    // exhaustion) are ignored; retransmit timers for erased entries
+    // no-op when they fire.
+    return true;
+  }
+  if (message.kind != kLinkData) return false;
+
+  util::ByteReader reader(message.payload);
+  const std::uint64_t seq = reader.get_u64();
+  const std::uint32_t inner_kind = reader.get_u32();
+
+  // Ack every data frame, duplicates included: a duplicate usually means
+  // the previous ack was lost.
+  util::ByteWriter ack;
+  ack.put_u64(seq);
+  ctx.send(message.from, kLinkAck, ack.take());
+  bump(&LinkStats::acks_sent);
+
+  Inbound& inbound = inbound_[message.from];
+  const bool duplicate =
+      seq <= inbound.floor || inbound.above.count(seq) != 0;
+  if (duplicate) {
+    bump(&LinkStats::duplicates_suppressed);
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kLinkDuplicate, ctx.now(), ctx.self(),
+                      message.from, inner_kind, seq, 0});
+    }
+    return true;
+  }
+  inbound.above.insert(seq);
+  while (inbound.above.erase(inbound.floor + 1) != 0) ++inbound.floor;
+
+  bump(&LinkStats::delivered);
+  if (deliver_) {
+    sim::Message inner;
+    inner.from = message.from;
+    inner.to = message.to;
+    inner.kind = inner_kind;
+    inner.payload.assign(message.payload.begin() + kDataHeaderBytes,
+                         message.payload.end());
+    deliver_(ctx, inner);
+  }
+  return true;
+}
+
+bool ReliableLink::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  if ((timer_id & kLinkTimerTag) == 0) return false;
+  const std::uint64_t token = timer_id & ~kLinkTimerTag;
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return true;  // acked since; stale timer
+
+  Pending& pending = it->second;
+  if (pending.attempts > options_.max_retransmits) {
+    bump(&LinkStats::exhausted);
+    if (auto* sink = ctx.trace_sink()) {
+      sink->on_event({obs::TraceEventType::kLinkExhausted, ctx.now(), ctx.self(),
+                      pending.to, pending.kind, pending.seq, pending.attempts});
+    }
+    failed_.push_back({pending.to, pending.seq, pending.kind, pending.attempts});
+    token_by_dest_.erase({pending.to, pending.seq});
+    pending_.erase(it);
+    return true;
+  }
+
+  ++pending.attempts;
+  bump(&LinkStats::retransmits);
+  if (auto* sink = ctx.trace_sink()) {
+    sink->on_event({obs::TraceEventType::kLinkRetransmit, ctx.now(), ctx.self(),
+                    pending.to, pending.kind, pending.seq, pending.attempts});
+  }
+  ctx.send(pending.to, kLinkData, pending.frame);
+  const double next_rto = static_cast<double>(pending.rto) * options_.backoff;
+  pending.rto = next_rto >= static_cast<double>(options_.max_rto)
+                    ? options_.max_rto
+                    : static_cast<sim::SimTime>(next_rto);
+  ctx.set_timer(pending.rto, kLinkTimerTag | token);
+  return true;
+}
+
+}  // namespace mocc::fault

@@ -1,0 +1,152 @@
+// Reliable point-to-point delivery over a lossy network.
+//
+// The paper's protocols assume reliable channels (§5); the fault layer
+// deliberately breaks that assumption. ReliableLink restores it with the
+// classic positive-ack scheme: every data message carries a per-
+// destination sequence number, the receiver acks every data frame it
+// sees (including duplicates — acks are how the sender learns to stop),
+// and the sender retransmits on a timer with exponential backoff until
+// acked or a bounded retry budget runs out.
+//
+// Guarantees over a network that drops and duplicates (but does not
+// forge): every message sent is delivered to the destination's upper
+// layer EXACTLY ONCE, provided the retry budget suffices — at drop rate
+// p the residual loss probability is p^(max_retransmits+1), which the
+// default budget of 16 makes negligible for the fault rates the chaos
+// harness sweeps. Exhausted sends are reported, never silent.
+//
+// The link does NOT reorder: frames deliver upward in network-arrival
+// order, preserving the simulator's unordered-channel model. Ordering
+// remains the job of the layers above (atomic broadcast / protocol
+// logic), exactly as in the fault-free stack.
+//
+// Wire format (kinds 50 and 51, reserved range [50, 99]):
+//   kLinkData: u64 link-seq | u32 inner kind | inner payload bytes
+//   kLinkAck:  u64 link-seq
+// Retransmit timers use ids tagged with kLinkTimerTag so they can share
+// an actor's timer namespace; hosts forward unrecognized timers here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mocc::fault {
+
+/// Message-kind range reserved for the reliable link (below abcast's
+/// [100, 199] and the protocols' [200, ...)).
+inline constexpr std::uint32_t kLinkKindFirst = 50;
+inline constexpr std::uint32_t kLinkData = 50;
+inline constexpr std::uint32_t kLinkAck = 51;
+inline constexpr std::uint32_t kLinkKindLast = 99;
+
+/// High-bit tag distinguishing link retransmit timers from host timers.
+inline constexpr std::uint64_t kLinkTimerTag = 1ULL << 62;
+
+/// Counters for one link endpoint (or, via a shared sink, a whole
+/// system — see set_shared_stats).
+struct LinkStats {
+  std::uint64_t data_sent = 0;    ///< first transmissions
+  std::uint64_t retransmits = 0;  ///< timer-driven resends
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;              ///< frames handed to the upper layer
+  std::uint64_t duplicates_suppressed = 0;  ///< dedup hits
+  std::uint64_t exhausted = 0;              ///< sends that ran out of retries
+};
+
+/// A send whose retry budget ran out. The payload is intentionally not
+/// retained — by exhaustion time it has been transmitted
+/// (1 + max_retransmits) times and the upper layer's recovery story is
+/// protocol-level, not another resend.
+struct FailedSend {
+  sim::NodeId to = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t kind = 0;       ///< inner (application) kind
+  std::uint32_t attempts = 0;   ///< transmissions made before giving up
+};
+
+/// One endpoint of the reliable layer, owned by the hosting actor (one
+/// per node). Not an Actor itself: the host calls send() instead of
+/// Context::send, offers every incoming message to on_message() first,
+/// and forwards unrecognized timers to on_timer().
+class ReliableLink {
+ public:
+  struct Options {
+    sim::SimTime initial_rto = 16;  ///< first retransmit timeout, ticks
+    double backoff = 2.0;           ///< rto multiplier per retry
+    sim::SimTime max_rto = 1024;    ///< backoff cap
+    std::uint32_t max_retransmits = 16;  ///< resends beyond the original
+  };
+
+  /// Upward delivery: `message` is the reconstructed application message
+  /// (original sender, inner kind, inner payload).
+  using DeliverFn = std::function<void(sim::Context& ctx, const sim::Message& message)>;
+
+  ReliableLink() : ReliableLink(Options()) {}
+  explicit ReliableLink(Options options);
+
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Reliably sends (kind, payload) to `to`. Self-sends are forbidden —
+  /// hosts short-circuit local work without touching the network.
+  void send(sim::Context& ctx, sim::NodeId to, std::uint32_t kind,
+            std::vector<std::uint8_t> payload);
+
+  /// Consumes kLinkData / kLinkAck; returns false for foreign kinds.
+  /// Data frames are acked and, if new, delivered via the deliver
+  /// callback before this returns.
+  bool on_message(sim::Context& ctx, const sim::Message& message);
+
+  /// Consumes kLinkTimerTag-tagged retransmit timers; returns false for
+  /// foreign timer ids.
+  bool on_timer(sim::Context& ctx, std::uint64_t timer_id);
+
+  /// Sends still awaiting an ack (retry budget not yet exhausted).
+  std::size_t in_flight() const { return pending_.size(); }
+  const std::vector<FailedSend>& failed() const { return failed_; }
+  const LinkStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Optional second stats sink shared by every link in a system (not
+  /// owned; must outlive the link). Lets System report aggregate link
+  /// traffic without walking replicas.
+  void set_shared_stats(LinkStats* shared) { shared_ = shared; }
+
+ private:
+  struct Pending {
+    sim::NodeId to = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t kind = 0;            ///< inner kind (for reporting)
+    std::vector<std::uint8_t> frame;   ///< encoded kLinkData, resent as-is
+    sim::SimTime rto = 0;              ///< next backoff interval
+    std::uint32_t attempts = 0;        ///< transmissions so far
+  };
+  /// Receiver-side dedup per sender: `floor` is the highest seq below
+  /// which everything has been seen; `above` holds out-of-order seqs
+  /// past the floor (compacted back into it as gaps fill).
+  struct Inbound {
+    std::uint64_t floor = 0;
+    std::set<std::uint64_t> above;
+  };
+
+  void bump(std::uint64_t LinkStats::* field);
+
+  Options options_;
+  DeliverFn deliver_;
+  std::map<sim::NodeId, std::uint64_t> next_seq_;  ///< per destination, from 1
+  std::map<std::uint64_t, Pending> pending_;       ///< token → outbound
+  std::map<std::pair<sim::NodeId, std::uint64_t>, std::uint64_t> token_by_dest_;
+  std::uint64_t next_token_ = 0;
+  std::map<sim::NodeId, Inbound> inbound_;
+  std::vector<FailedSend> failed_;
+  LinkStats stats_;
+  LinkStats* shared_ = nullptr;
+};
+
+}  // namespace mocc::fault

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mocc::obs {
@@ -14,6 +15,13 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kLockAcquire: return "lock_acquire";
     case TraceEventType::kLockRelease: return "lock_release";
     case TraceEventType::kAbcastSequence: return "abcast_sequence";
+    case TraceEventType::kFaultDrop: return "fault_drop";
+    case TraceEventType::kFaultDuplicate: return "fault_duplicate";
+    case TraceEventType::kFaultDelay: return "fault_delay";
+    case TraceEventType::kFaultCrashDiscard: return "fault_crash_discard";
+    case TraceEventType::kLinkRetransmit: return "link_retransmit";
+    case TraceEventType::kLinkDuplicate: return "link_duplicate";
+    case TraceEventType::kLinkExhausted: return "link_exhausted";
   }
   MOCC_ASSERT_MSG(false, "unknown trace event type");
   return "unknown";
@@ -53,6 +61,12 @@ std::uint64_t RingBufferSink::total() const {
 std::uint64_t RingBufferSink::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_ - ring_.size();
+}
+
+void RingBufferSink::export_metrics(Registry& registry) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry.counter("trace_events_total").set(total_);
+  registry.counter("trace_events_dropped").set(total_ - ring_.size());
 }
 
 void RingBufferSink::clear() {

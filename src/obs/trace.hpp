@@ -32,6 +32,8 @@
 
 namespace mocc::obs {
 
+class Registry;
+
 enum class TraceEventType : std::uint8_t {
   /// node=sender, peer=receiver, kind=message kind, arg=payload bytes.
   kMessageSend = 0,
@@ -48,6 +50,30 @@ enum class TraceEventType : std::uint8_t {
   /// node=delivering replica, peer=origin, id=agreed sequence position,
   /// arg=payload bytes.
   kAbcastSequence,
+  /// Fault injection (src/fault): message discarded at send time.
+  /// node=sender, peer=receiver, kind=message kind, arg=payload bytes.
+  kFaultDrop,
+  /// One injected extra copy. node=sender, peer=receiver, kind=message
+  /// kind, arg=payload bytes.
+  kFaultDuplicate,
+  /// Delay spike applied to a send. node=sender, peer=receiver,
+  /// kind=message kind, id=extra ticks, arg=payload bytes.
+  kFaultDelay,
+  /// Delivery or timer discarded at a crashed node. node=crashed node,
+  /// peer=sender (0 for timers), kind=message kind (0 for timers),
+  /// id=timer id (0 for messages), arg=1 for timers else 0.
+  kFaultCrashDiscard,
+  /// Reliable link (src/fault): retransmission of an unacked message.
+  /// node=sender, peer=receiver, kind=inner kind, id=link sequence
+  /// number, arg=attempt count so far.
+  kLinkRetransmit,
+  /// Duplicate data suppressed by receiver-side dedup. node=receiver,
+  /// peer=sender, kind=inner kind, id=link sequence number.
+  kLinkDuplicate,
+  /// Retry budget exhausted; the link stopped retransmitting.
+  /// node=sender, peer=receiver, kind=inner kind, id=link sequence
+  /// number, arg=attempts made.
+  kLinkExhausted,
 };
 
 /// Stable lowercase name used by the JSONL exporter ("message_send", ...).
@@ -87,6 +113,12 @@ class RingBufferSink final : public TraceSink {
   std::uint64_t dropped() const MOCC_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   void clear() MOCC_EXCLUDES(mu_);
+
+  /// Publishes the sink's accounting into `registry` as counters
+  /// "trace_events_total" and "trace_events_dropped" (set, not
+  /// incremented, so repeated exports stay idempotent). A nonzero dropped
+  /// count in a report means the retained window truncates the execution.
+  void export_metrics(Registry& registry) const MOCC_EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;

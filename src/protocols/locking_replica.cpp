@@ -112,7 +112,7 @@ void LockingReplica::request_next_lock(sim::Context& ctx, PendingOp& op) {
   out.put_u64(op.id);
   out.put_u32(lock);
   out.put_u8(exclusive ? 1 : 0);
-  ctx.send(home, kLockReq, out.take());
+  net_send(ctx, home, kLockReq, out.take());
 }
 
 void LockingReplica::on_lock_grant(sim::Context& ctx, std::uint64_t token) {
@@ -143,7 +143,7 @@ void LockingReplica::start_read_phase(sim::Context& ctx, PendingOp& op) {
     util::ByteWriter out;
     out.put_u64(op.id);
     out.put_u32_vector(objects);
-    ctx.send(home, kReadReq, out.take());
+    net_send(ctx, home, kReadReq, out.take());
   }
 }
 
@@ -230,7 +230,7 @@ void LockingReplica::execute_and_commit(sim::Context& ctx, PendingOp& op) {
     out.put_i64_vector(commit.write_values);
     out.put_u32_vector(commit.unlock_shared);
     out.put_u32_vector(commit.unlock_exclusive);
-    ctx.send(home, kCommitReq, out.take());
+    net_send(ctx, home, kCommitReq, out.take());
   }
 }
 
@@ -273,7 +273,7 @@ void LockingReplica::on_commit_ack(sim::Context& ctx, std::uint64_t token) {
       out.put_i64_vector({});
       out.put_u32_vector(release.unlock_shared);
       out.put_u32_vector(release.unlock_exclusive);
-      ctx.send(home, kCommitReq, out.take());
+      net_send(ctx, home, kCommitReq, out.take());
     }
     return;
   }
@@ -332,7 +332,7 @@ void LockingReplica::grant(sim::Context& ctx, sim::NodeId client, std::uint64_t 
   util::ByteWriter out;
   out.put_u64(token);
   out.put_u32(lock);
-  ctx.send(client, kLockGrant, out.take());
+  net_send(ctx, client, kLockGrant, out.take());
 }
 
 void LockingReplica::handle_read_req(sim::Context& ctx, sim::NodeId from,
@@ -358,7 +358,7 @@ void LockingReplica::handle_read_req(sim::Context& ctx, sim::NodeId from,
   out.put_u32_vector(objects);
   out.put_i64_vector(values);
   out.put_u32_vector(writers);
-  ctx.send(from, kReadResp, out.take());
+  net_send(ctx, from, kReadResp, out.take());
 }
 
 void LockingReplica::handle_commit_req(sim::Context& ctx, sim::NodeId from,
@@ -399,12 +399,12 @@ void LockingReplica::handle_commit_req(sim::Context& ctx, sim::NodeId from,
   }
   util::ByteWriter out;
   out.put_u64(token);
-  ctx.send(from, kCommitAck, out.take());
+  net_send(ctx, from, kCommitAck, out.take());
 }
 
 // ------------------------------------------------------------- dispatch
 
-void LockingReplica::on_message(sim::Context& ctx, const sim::Message& message) {
+void LockingReplica::handle_delivered(sim::Context& ctx, const sim::Message& message) {
   util::ByteReader in(message.payload);
   switch (message.kind) {
     case kLockReq: {

@@ -48,9 +48,11 @@ class LockingReplica final : public Replica {
                  ExecutionRecorder& recorder)
       : LockingReplica(num_objects, num_nodes, recorder, Options()) {}
 
-  void on_message(sim::Context& ctx, const sim::Message& message) override;
   void invoke(sim::Context& ctx, mscript::Program program,
               ResponseFn on_response) override;
+
+ protected:
+  void handle_delivered(sim::Context& ctx, const sim::Message& message) override;
 
  private:
   // ---- lock identifiers: real objects plus one virtual aggregate lock.

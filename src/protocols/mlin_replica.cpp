@@ -25,6 +25,7 @@ void MLinReplica::on_start(sim::Context& ctx) {
                               const std::vector<std::uint8_t>& payload) {
     on_deliver(live_ctx, origin, payload);
   });
+  abcast_->set_reliable_link(reliable_link());
   abcast_->on_start(ctx);
 }
 
@@ -68,7 +69,7 @@ void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
     finish_query(ctx, qid);
     return;
   }
-  ctx.send_to_others(kQuery, out.bytes());
+  net_send_to_others(ctx, kQuery, out.bytes());
 }
 
 void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
@@ -127,7 +128,7 @@ void MLinReplica::on_query(sim::Context& ctx, const sim::Message& message) {
     out.put_i64_vector(values);
     out.put_u32_vector(writers);
   }
-  ctx.send(message.from, kQueryResp, out.take());
+  net_send(ctx, message.from, kQueryResp, out.take());
 }
 
 void MLinReplica::on_query_response(sim::Context& ctx, const sim::Message& message) {
@@ -194,7 +195,7 @@ void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
       InvocationOutcome{query.id, exec.return_value, query.invoke, response_time});
 }
 
-void MLinReplica::on_message(sim::Context& ctx, const sim::Message& message) {
+void MLinReplica::handle_delivered(sim::Context& ctx, const sim::Message& message) {
   if (message.kind == kQuery) {
     on_query(ctx, message);
     return;

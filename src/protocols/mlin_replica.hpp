@@ -51,12 +51,14 @@ class MLinReplica final : public Replica {
       : MLinReplica(num_objects, std::move(abcast), recorder, Options()) {}
 
   void on_start(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, const sim::Message& message) override;
   void invoke(sim::Context& ctx, mscript::Program program,
               ResponseFn on_response) override;
 
   const util::VersionVector& timestamp() const { return myts_; }
   const std::vector<core::Value>& store() const { return my_x_; }
+
+ protected:
+  void handle_delivered(sim::Context& ctx, const sim::Message& message) override;
 
  private:
   void on_deliver(sim::Context& ctx, sim::NodeId origin,

@@ -40,6 +40,7 @@ void MSeqReplica::on_start(sim::Context& ctx) {
                               const std::vector<std::uint8_t>& payload) {
     on_deliver(live_ctx, origin, payload);
   });
+  abcast_->set_reliable_link(reliable_link());
   abcast_->on_start(ctx);
 }
 
@@ -105,7 +106,7 @@ void MSeqReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
   }
 }
 
-void MSeqReplica::on_message(sim::Context& ctx, const sim::Message& message) {
+void MSeqReplica::handle_delivered(sim::Context& ctx, const sim::Message& message) {
   const bool consumed = abcast_->on_message(ctx, message);
   MOCC_ASSERT_MSG(consumed, "m-seq replica received a foreign message kind");
 }

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/types.hpp"
+#include "fault/reliable_link.hpp"
 #include "mscript/vm.hpp"
 #include "obs/trace.hpp"
 #include "protocols/recorder.hpp"
@@ -47,6 +49,68 @@ class Replica : public sim::Actor {
   /// threads of control, §2.1); drivers are closed-loop by construction.
   virtual void invoke(sim::Context& ctx, mscript::Program program,
                       ResponseFn on_response) = 0;
+
+  /// Attaches a reliable-delivery layer (owned, one per node). From then
+  /// on every network send of this replica — and of the abcast instance
+  /// it hosts — goes through ack + retransmit, and incoming link frames
+  /// are unwrapped before protocol dispatch. Null (the default) is the
+  /// paper's reliable-network model: sends go raw.
+  void set_reliable_link(std::unique_ptr<fault::ReliableLink> link) {
+    link_ = std::move(link);
+    if (link_ != nullptr) {
+      link_->set_deliver([this](sim::Context& ctx, const sim::Message& message) {
+        handle_delivered(ctx, message);
+      });
+    }
+  }
+  fault::ReliableLink* reliable_link() const { return link_.get(); }
+
+  /// Link frames (data/acks) are consumed here; everything else — and
+  /// every payload the link unwraps — reaches handle_delivered.
+  void on_message(sim::Context& ctx, const sim::Message& message) final {
+    if (link_ != nullptr && link_->on_message(ctx, message)) return;
+    handle_delivered(ctx, message);
+  }
+
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) final {
+    if (link_ != nullptr && link_->on_timer(ctx, timer_id)) return;
+    handle_timer(ctx, timer_id);
+  }
+
+ protected:
+  /// Protocol-level dispatch, called once per application message
+  /// whether it arrived raw or via the reliable link.
+  virtual void handle_delivered(sim::Context& ctx, const sim::Message& message) = 0;
+
+  virtual void handle_timer(sim::Context& ctx, std::uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+
+  /// Send indirection for protocol code: reliable when a link is
+  /// attached, plain Context::send otherwise.
+  void net_send(sim::Context& ctx, sim::NodeId to, std::uint32_t kind,
+                std::vector<std::uint8_t> payload) {
+    if (link_ != nullptr) {
+      link_->send(ctx, to, kind, std::move(payload));
+      return;
+    }
+    ctx.send(to, kind, std::move(payload));
+  }
+
+  void net_send_to_others(sim::Context& ctx, std::uint32_t kind,
+                          const std::vector<std::uint8_t>& payload) {
+    if (link_ == nullptr) {
+      ctx.send_to_others(kind, payload);
+      return;
+    }
+    for (sim::NodeId to = 0; to < ctx.num_nodes(); ++to) {
+      if (to != ctx.self()) link_->send(ctx, to, kind, payload);
+    }
+  }
+
+ private:
+  std::unique_ptr<fault::ReliableLink> link_;
 };
 
 /// StoreView against a replica-local copy that records accesses at

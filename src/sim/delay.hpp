@@ -11,12 +11,10 @@
 #include <memory>
 #include <string>
 
+#include "sim/types.hpp"
 #include "util/rng.hpp"
 
 namespace mocc::sim {
-
-using NodeId = std::uint32_t;
-using SimTime = std::uint64_t;
 
 class DelayModel {
  public:

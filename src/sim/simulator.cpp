@@ -70,24 +70,59 @@ void Simulator::drain_posted() {
 void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
                      std::vector<std::uint8_t> payload) {
   MOCC_ASSERT(from < actors_.size() && to < actors_.size());
-  Event event;
-  event.time = now_ + delay_->sample(from, to, rng_);
-  event.seq = next_seq_++;
-  event.message = Message{from, to, kind, std::move(payload)};
+  const std::size_t bytes = payload.size();
   MOCC_DEBUG() << "t=" << now_ << " send " << from << "->" << to << " kind=" << kind
-               << " bytes=" << event.message.payload.size() << " eta=" << event.time;
+               << " bytes=" << bytes;
 
+  // Traffic counts what the sender emitted — dropped and duplicated
+  // copies are the network's doing and are tallied by the fault plan.
   traffic_.messages += 1;
-  traffic_.bytes += event.message.payload.size();
+  traffic_.bytes += bytes;
   traffic_.messages_by_kind[kind] += 1;
-  traffic_.bytes_by_kind[kind] += event.message.payload.size();
+  traffic_.bytes_by_kind[kind] += bytes;
 
   if (trace_ != nullptr) {
     trace_->on_event({obs::TraceEventType::kMessageSend, now_, from, to, kind, 0,
-                      event.message.payload.size()});
+                      bytes});
   }
 
-  queue_.push(std::move(event));
+  // Fault hook: one branch when detached; the detached path below is
+  // byte-for-byte the pristine reliable network (one copy, no extra rng
+  // draws — the injector keeps its own stream).
+  std::uint32_t copies = 1;
+  SimTime extra_delay = 0;
+  if (faults_ != nullptr) {
+    const FaultInjector::SendAction action = faults_->on_send(from, to, kind, now_);
+    if (action.drop) {
+      if (trace_ != nullptr) {
+        trace_->on_event({obs::TraceEventType::kFaultDrop, now_, from, to, kind, 0,
+                          bytes});
+      }
+      return;
+    }
+    copies += action.duplicates;
+    extra_delay = action.extra_delay;
+    if (trace_ != nullptr) {
+      for (std::uint32_t i = 0; i < action.duplicates; ++i) {
+        trace_->on_event({obs::TraceEventType::kFaultDuplicate, now_, from, to, kind,
+                          0, bytes});
+      }
+      if (extra_delay != 0) {
+        trace_->on_event({obs::TraceEventType::kFaultDelay, now_, from, to, kind,
+                          extra_delay, bytes});
+      }
+    }
+  }
+
+  for (std::uint32_t copy = 0; copy < copies; ++copy) {
+    Event event;
+    event.time = now_ + delay_->sample(from, to, rng_) + extra_delay;
+    event.seq = next_seq_++;
+    event.message = Message{from, to, kind,
+                            copy + 1 == copies ? std::move(payload)
+                                               : std::vector<std::uint8_t>(payload)};
+    queue_.push(std::move(event));
+  }
 }
 
 void Simulator::set_timer(NodeId node, SimTime delay, std::uint64_t timer_id) {
@@ -108,12 +143,27 @@ void Simulator::dispatch(const Event& event) {
   if (event.is_timer) {
     MOCC_DEBUG() << "t=" << now_ << " timer node=" << event.timer_node
                  << " id=" << event.timer_id;
+    if (faults_ != nullptr && faults_->is_down(event.timer_node, now_)) {
+      if (trace_ != nullptr) {
+        trace_->on_event({obs::TraceEventType::kFaultCrashDiscard, now_,
+                          event.timer_node, 0, 0, event.timer_id, 1});
+      }
+      return;
+    }
     Context ctx(*this, event.timer_node);
     actors_[event.timer_node]->on_timer(ctx, event.timer_id);
     return;
   }
   MOCC_DEBUG() << "t=" << now_ << " deliver " << event.message.from << "->"
                << event.message.to << " kind=" << event.message.kind;
+  if (faults_ != nullptr && faults_->is_down(event.message.to, now_)) {
+    if (trace_ != nullptr) {
+      trace_->on_event({obs::TraceEventType::kFaultCrashDiscard, now_,
+                        event.message.to, event.message.from, event.message.kind, 0,
+                        0});
+    }
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->on_event({obs::TraceEventType::kMessageDeliver, now_, event.message.to,
                       event.message.from, event.message.kind, 0,

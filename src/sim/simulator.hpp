@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/delay.hpp"
+#include "sim/types.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -31,6 +32,40 @@ class TraceSink;
 }
 
 namespace mocc::sim {
+
+/// Fault-injection hook (implemented by fault::FaultPlan). When attached,
+/// the simulator consults it once per send (message fate) and once per
+/// dispatch (node liveness). Detached — the default — every site costs
+/// exactly one null-pointer branch and the simulator's behavior,
+/// including its RNG stream, is bit-identical to a hook-free build.
+class FaultInjector {
+ public:
+  /// The fate of one message at its send instant.
+  struct SendAction {
+    /// Discard instead of enqueueing (the send is still counted in
+    /// TrafficStats: the sender paid for it).
+    bool drop = false;
+    /// Extra copies enqueued beyond the original, each with its own
+    /// sampled network delay (a duplicating network, not a resend).
+    std::uint32_t duplicates = 0;
+    /// Delay spike added to every enqueued copy.
+    SimTime extra_delay = 0;
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// Called once per Simulator::send, in send order (deterministic given
+  /// the injector's own seed).
+  virtual SendAction on_send(NodeId from, NodeId to, std::uint32_t kind,
+                             SimTime now) = 0;
+
+  /// Crash-stop state: while true, the node silently discards every
+  /// delivery and timer dispatched to it (counted by the injector,
+  /// traced by the simulator). Restart is the transition back to false;
+  /// the actor keeps its in-memory state, modeling recovery from a
+  /// checkpoint — events discarded while down stay lost.
+  virtual bool is_down(NodeId node, SimTime now) = 0;
+};
 
 struct Message {
   NodeId from = 0;
@@ -125,6 +160,12 @@ class Simulator {
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace_sink() const { return trace_; }
 
+  /// Attaches a fault injector (not owned; must outlive the simulator or
+  /// be detached with nullptr). Null (the default) keeps the pristine
+  /// reliable network at the cost of one branch per send/dispatch site.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   // Internal API used by Context -------------------------------------
   void send(NodeId from, NodeId to, std::uint32_t kind,
             std::vector<std::uint8_t> payload);
@@ -165,6 +206,7 @@ class Simulator {
   bool started_ = false;
   TrafficStats traffic_;
   obs::TraceSink* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace mocc::sim

@@ -1,0 +1,15 @@
+// Shared simulator-layer identifier types.
+//
+// NodeId doubles as the paper's process id (src/protocols keeps them
+// aligned); SimTime is virtual ticks. One definition here so delay
+// models, the simulator, and the fault layer agree by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace mocc::sim {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;
+
+}  // namespace mocc::sim

@@ -22,28 +22,27 @@
 namespace mocc::bench {
 namespace {
 
-SuiteOptions e1_smoke_options() {
+SuiteOptions smoke_options(const std::string& experiment) {
   SuiteOptions options;
   options.smoke = true;
-  options.only = {"E1"};
+  options.only = {experiment};
   return options;
 }
 
-std::string render_e1_smoke() {
-  const SuiteOptions options = e1_smoke_options();
+std::string render_smoke(const std::string& experiment) {
+  const SuiteOptions options = smoke_options(experiment);
   const auto records = run_suite(options);
   std::ostringstream out;
   write_records_json(out, records, options);
   return out.str();
 }
 
-TEST(BenchReport, FixedSeedRerunIsByteIdentical) {
-  EXPECT_EQ(render_e1_smoke(), render_e1_smoke());
-}
+std::string render_e1_smoke() { return render_smoke("E1"); }
 
-TEST(BenchReport, MatchesGoldenE1Smoke) {
-  const std::string golden_path = std::string(MOCC_GOLDEN_DIR) + "/e1_smoke.json";
-  const std::string rendered = render_e1_smoke();
+/// Shared golden-file check: regenerates under MOCC_UPDATE_GOLDEN=1,
+/// otherwise requires byte equality.
+void expect_matches_golden(const std::string& rendered, const std::string& file) {
+  const std::string golden_path = std::string(MOCC_GOLDEN_DIR) + "/" + file;
 
   if (std::getenv("MOCC_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(golden_path, std::ios::binary);
@@ -58,9 +57,49 @@ TEST(BenchReport, MatchesGoldenE1Smoke) {
   std::ostringstream golden;
   golden << in.rdbuf();
   EXPECT_EQ(rendered, golden.str())
-      << "BENCH_results.json bytes drifted from the golden E1 smoke record; "
-         "if intended, regenerate with MOCC_UPDATE_GOLDEN=1 and review the "
-         "diff (bump kBenchSchemaVersion on shape changes)";
+      << "BENCH_results.json bytes drifted from the golden " << file
+      << "; if intended, regenerate with MOCC_UPDATE_GOLDEN=1 and review "
+         "the diff (bump kBenchSchemaVersion on shape changes)";
+}
+
+TEST(BenchReport, FixedSeedRerunIsByteIdentical) {
+  EXPECT_EQ(render_e1_smoke(), render_e1_smoke());
+}
+
+TEST(BenchReport, MatchesGoldenE1Smoke) {
+  expect_matches_golden(render_e1_smoke(), "e1_smoke.json");
+}
+
+/// Pins the E8 fault-sweep record bytes — including the conditional
+/// "schema_minor" header that only E8-bearing artifacts carry.
+TEST(BenchReport, MatchesGoldenE8Smoke) {
+  expect_matches_golden(render_smoke("E8"), "e8_smoke.json");
+}
+
+TEST(BenchReport, SchemaMinorOnlyWithFaultRecords) {
+  // Pre-fault artifacts (no E8 record) must serialize exactly as minor 0
+  // did; E8-bearing artifacts declare the additive revision.
+  EXPECT_EQ(render_e1_smoke().find("schema_minor"), std::string::npos);
+  EXPECT_NE(render_smoke("E8").find("\"schema_minor\": 1"), std::string::npos);
+}
+
+/// The E8 smoke sweep audits every point and must come back clean, with
+/// the link-on points carrying real fault/link accounting.
+TEST(BenchReport, E8SmokeAuditsPassAndCarryFaultMetrics) {
+  const auto records = run_suite(smoke_options("E8"));
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_EQ(record.audit, ExperimentRecord::Audit::kOk) << record.name;
+    const auto& counters = record.metrics.counters();
+    ASSERT_TRUE(counters.contains("link_data")) << record.name;
+    ASSERT_TRUE(counters.contains("fault_drops")) << record.name;
+    EXPECT_EQ(counters.at("link_exhausted").value(), 0u) << record.name;
+    if (record.config.at("link") == "on") {
+      EXPECT_GT(counters.at("link_data").value(), 0u) << record.name;
+    } else {
+      EXPECT_EQ(counters.at("link_data").value(), 0u) << record.name;
+    }
+  }
 }
 
 TEST(BenchReport, SelectionFiltersExperiments) {

@@ -1,0 +1,350 @@
+// Fault-injection plan (src/fault/fault.{hpp,cpp}) and its simulator
+// hook: deterministic per-link fault draws, partition schedules,
+// crash-stop windows, and the metric/trace surfaces they feed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/delay.hpp"
+#include "sim/simulator.hpp"
+
+namespace mocc::fault {
+namespace {
+
+/// Records every delivery with its arrival time.
+class RecordingActor final : public sim::Actor {
+ public:
+  void on_message(sim::Context& ctx, const sim::Message& message) override {
+    deliveries.push_back({ctx.now(), message.from, message.kind});
+  }
+
+  struct Delivery {
+    sim::SimTime at;
+    sim::NodeId from;
+    std::uint32_t kind;
+  };
+  std::vector<Delivery> deliveries;
+};
+
+TEST(FaultPlanConfig, EnabledOnlyWhenSomethingCanPerturb) {
+  FaultPlanConfig config;
+  EXPECT_FALSE(config.enabled());
+
+  config.default_link.drop_rate = 0.1;
+  EXPECT_TRUE(config.enabled());
+  config.default_link.drop_rate = 0.0;
+
+  // A delay spike of zero ticks perturbs nothing even at rate 1.
+  config.default_link.delay_spike_rate = 1.0;
+  EXPECT_FALSE(config.enabled());
+  config.default_link.delay_spike = 5;
+  EXPECT_TRUE(config.enabled());
+  config.default_link = LinkFaults{};
+
+  config.partitions.push_back({10, 20, {0}});
+  EXPECT_TRUE(config.enabled());
+  config.partitions.clear();
+
+  config.crashes.push_back({1, 5, 0});
+  EXPECT_TRUE(config.enabled());
+  config.crashes.clear();
+
+  config.link_overrides.push_back({0, 1, LinkFaults{}});
+  EXPECT_FALSE(config.enabled());  // override with no faults is inert
+  config.link_overrides[0].faults.duplicate_rate = 0.5;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  FaultPlanConfig config;
+  config.seed = 99;
+  config.default_link.drop_rate = 0.3;
+  config.default_link.duplicate_rate = 0.2;
+  config.default_link.delay_spike_rate = 0.1;
+  config.default_link.delay_spike = 40;
+
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (int i = 0; i < 500; ++i) {
+    const auto fa = a.on_send(0, 1, 200, static_cast<sim::SimTime>(i));
+    const auto fb = b.on_send(0, 1, 200, static_cast<sim::SimTime>(i));
+    EXPECT_EQ(fa.drop, fb.drop) << "send " << i;
+    EXPECT_EQ(fa.duplicates, fb.duplicates) << "send " << i;
+    EXPECT_EQ(fa.extra_delay, fb.extra_delay) << "send " << i;
+  }
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_EQ(a.stats().duplicates, b.stats().duplicates);
+  EXPECT_EQ(a.stats().delay_spikes, b.stats().delay_spikes);
+  // The rates actually fired (probability of 500 misses at these rates
+  // is astronomically small, and the stream is fixed by the seed anyway).
+  EXPECT_GT(a.stats().drops, 0u);
+  EXPECT_GT(a.stats().duplicates, 0u);
+  EXPECT_GT(a.stats().delay_spikes, 0u);
+}
+
+TEST(FaultPlan, PartitionWindowCutsBothDirectionsAndHeals) {
+  FaultPlanConfig config;
+  config.partitions.push_back({10, 20, {0}});
+  FaultPlan plan(config);
+
+  EXPECT_FALSE(plan.partitioned(0, 1, 9));
+  EXPECT_TRUE(plan.partitioned(0, 1, 10));   // start is inclusive
+  EXPECT_TRUE(plan.partitioned(1, 0, 15));   // cut in both directions
+  EXPECT_TRUE(plan.partitioned(0, 1, 19));
+  EXPECT_FALSE(plan.partitioned(0, 1, 20));  // heal is exclusive
+  // Nodes on the same side keep talking.
+  EXPECT_FALSE(plan.partitioned(1, 2, 15));
+
+  EXPECT_TRUE(plan.on_send(0, 1, 200, 15).drop);
+  EXPECT_FALSE(plan.on_send(0, 1, 200, 25).drop);
+  EXPECT_EQ(plan.stats().partition_drops, 1u);
+  EXPECT_EQ(plan.stats().drops, 0u);  // partition drops are not random drops
+}
+
+TEST(FaultPlan, PartitionWithZeroHealNeverHeals) {
+  FaultPlanConfig config;
+  config.partitions.push_back({10, 0, {0}});
+  FaultPlan plan(config);
+  EXPECT_FALSE(plan.partitioned(0, 1, 9));
+  EXPECT_TRUE(plan.partitioned(0, 1, 1u << 30));
+}
+
+TEST(FaultPlan, PartitionCheckDrawsNoRandomness) {
+  // Two plans differing only in partition schedule must make identical
+  // random drop decisions outside the partition window: the partition
+  // path consumes no rng draws.
+  FaultPlanConfig with_partition;
+  with_partition.seed = 7;
+  with_partition.default_link.drop_rate = 0.5;
+  with_partition.partitions.push_back({0, 100, {0}});
+  FaultPlanConfig without = with_partition;
+  without.partitions.clear();
+
+  FaultPlan a(with_partition);
+  FaultPlan b(without);
+  // During the window, a's sends 0->1 are partition drops (no draws);
+  // its 1->2 sends draw from the same stream b draws from.
+  for (int i = 0; i < 100; ++i) {
+    a.on_send(0, 1, 200, 50);  // partitioned: no draw
+    const auto fa = a.on_send(1, 2, 200, 50);
+    const auto fb = b.on_send(1, 2, 200, 50);
+    EXPECT_EQ(fa.drop, fb.drop) << "send " << i;
+  }
+}
+
+TEST(FaultPlan, LinkOverrideReplacesDefaultPerDirection) {
+  FaultPlanConfig config;
+  config.link_overrides.push_back({0, 1, LinkFaults{1.0, 0.0, 0.0, 0}});
+  FaultPlan plan(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(plan.on_send(0, 1, 200, 0).drop);   // overridden: always drop
+    EXPECT_FALSE(plan.on_send(1, 0, 200, 0).drop);  // reverse uses default (none)
+    EXPECT_FALSE(plan.on_send(0, 2, 200, 0).drop);
+  }
+  EXPECT_EQ(plan.stats().drops, 20u);
+  EXPECT_EQ(plan.stats().sends_seen, 60u);
+}
+
+TEST(FaultPlan, CrashWindowBoundaries) {
+  FaultPlanConfig config;
+  config.crashes.push_back({1, 10, 20});
+  config.crashes.push_back({2, 5, 0});  // restart == 0: down forever
+  FaultPlan plan(config);
+
+  EXPECT_FALSE(plan.is_down(1, 9));
+  EXPECT_TRUE(plan.is_down(1, 10));
+  EXPECT_TRUE(plan.is_down(1, 19));
+  EXPECT_FALSE(plan.is_down(1, 20));  // restarted
+  EXPECT_FALSE(plan.is_down(0, 15));  // other nodes unaffected
+  EXPECT_TRUE(plan.is_down(2, 1u << 30));
+  EXPECT_EQ(plan.stats().crash_discards, 3u);  // one per is_down() == true
+}
+
+TEST(FaultPlan, ExportMetricsSetsCounters) {
+  FaultPlanConfig config;
+  config.default_link.drop_rate = 1.0;
+  FaultPlan plan(config);
+  plan.on_send(0, 1, 200, 0);
+  plan.on_send(0, 1, 200, 1);
+
+  obs::Registry registry;
+  plan.export_metrics(registry);
+  EXPECT_EQ(registry.counter("fault_sends_seen").value(), 2u);
+  EXPECT_EQ(registry.counter("fault_drops").value(), 2u);
+  EXPECT_EQ(registry.counter("fault_duplicates").value(), 0u);
+  // Idempotent: re-export does not double.
+  plan.export_metrics(registry);
+  EXPECT_EQ(registry.counter("fault_drops").value(), 2u);
+}
+
+// ------------------------------------------------- simulator integration
+
+TEST(SimulatorFaults, DropDiscardsDeliveryButCountsTraffic) {
+  sim::Simulator sim(sim::make_delay_model("constant"), 1);
+  sim.add_node(std::make_unique<RecordingActor>());
+  auto receiver = std::make_unique<RecordingActor>();
+  auto* rx = receiver.get();
+  sim.add_node(std::move(receiver));
+
+  FaultPlanConfig config;
+  config.default_link.drop_rate = 1.0;
+  FaultPlan plan(config);
+  sim.set_fault_injector(&plan);
+  obs::RingBufferSink sink(64);
+  sim.set_trace_sink(&sink);
+
+  sim.schedule_call(0, [&] { sim.send(0, 1, 200, {1, 2, 3}); });
+  sim.run();
+
+  EXPECT_TRUE(rx->deliveries.empty());
+  EXPECT_EQ(plan.stats().drops, 1u);
+  // The sender paid for the message: traffic still counts it.
+  EXPECT_EQ(sim.traffic().messages, 1u);
+  EXPECT_EQ(sim.traffic().bytes, 3u);
+  bool traced = false;
+  for (const auto& event : sink.events()) {
+    if (event.type == obs::TraceEventType::kFaultDrop) traced = true;
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST(SimulatorFaults, DuplicateDeliversExtraCopies) {
+  sim::Simulator sim(sim::make_delay_model("constant"), 1);
+  sim.add_node(std::make_unique<RecordingActor>());
+  auto receiver = std::make_unique<RecordingActor>();
+  auto* rx = receiver.get();
+  sim.add_node(std::move(receiver));
+
+  FaultPlanConfig config;
+  config.default_link.duplicate_rate = 1.0;
+  FaultPlan plan(config);
+  sim.set_fault_injector(&plan);
+
+  sim.schedule_call(0, [&] { sim.send(0, 1, 200, {42}); });
+  sim.run();
+
+  ASSERT_EQ(rx->deliveries.size(), 2u);  // original + one injected copy
+  EXPECT_EQ(plan.stats().duplicates, 1u);
+  EXPECT_EQ(rx->deliveries[0].kind, 200u);
+  EXPECT_EQ(rx->deliveries[1].kind, 200u);
+}
+
+TEST(SimulatorFaults, DelaySpikeShiftsArrival) {
+  sim::Simulator sim(sim::make_delay_model("constant"), 1);  // base delay 10
+  sim.add_node(std::make_unique<RecordingActor>());
+  auto receiver = std::make_unique<RecordingActor>();
+  auto* rx = receiver.get();
+  sim.add_node(std::move(receiver));
+
+  FaultPlanConfig config;
+  config.default_link.delay_spike_rate = 1.0;
+  config.default_link.delay_spike = 100;
+  FaultPlan plan(config);
+  sim.set_fault_injector(&plan);
+
+  sim.schedule_call(0, [&] { sim.send(0, 1, 200, {}); });
+  sim.run();
+
+  ASSERT_EQ(rx->deliveries.size(), 1u);
+  EXPECT_EQ(rx->deliveries[0].at, 110u);  // 10 base + 100 spike
+  EXPECT_EQ(plan.stats().delay_spikes, 1u);
+}
+
+TEST(SimulatorFaults, CrashedNodeDiscardsDeliveriesAndTimers) {
+  /// Sets a timer at start that would fire inside the crash window.
+  class TimerActor final : public sim::Actor {
+   public:
+    void on_start(sim::Context& ctx) override { ctx.set_timer(15, 7); }
+    void on_message(sim::Context&, const sim::Message&) override { ++messages; }
+    void on_timer(sim::Context&, std::uint64_t) override { ++timers; }
+    int messages = 0;
+    int timers = 0;
+  };
+
+  sim::Simulator sim(sim::make_delay_model("constant"), 1);
+  sim.add_node(std::make_unique<RecordingActor>());
+  auto crashed = std::make_unique<TimerActor>();
+  auto* node1 = crashed.get();
+  sim.add_node(std::move(crashed));
+
+  FaultPlanConfig config;
+  config.crashes.push_back({1, 5, 50});
+  FaultPlan plan(config);
+  sim.set_fault_injector(&plan);
+
+  // Arrives at t=10+10=20: inside [5, 50), discarded. The t=15 timer too.
+  sim.schedule_call(10, [&] { sim.send(0, 1, 200, {}); });
+  // Arrives at t=60+10: after restart, delivered (state survived).
+  sim.schedule_call(60, [&] { sim.send(0, 1, 200, {}); });
+  sim.run();
+
+  EXPECT_EQ(node1->messages, 1);
+  EXPECT_EQ(node1->timers, 0);
+  EXPECT_EQ(plan.stats().crash_discards, 2u);
+}
+
+TEST(SimulatorFaults, DetachedInjectorKeepsRunByteIdentical) {
+  // A plan whose windows never overlap the run must not change anything:
+  // the injector draws from its own rng, so the simulator's stream — and
+  // therefore every delivery time — is untouched.
+  auto run = [](bool with_inert_plan) {
+    sim::Simulator sim(sim::make_delay_model("lan"), 42);
+    sim.add_node(std::make_unique<RecordingActor>());
+    auto receiver = std::make_unique<RecordingActor>();
+    auto* rx = receiver.get();
+    sim.add_node(std::move(receiver));
+    FaultPlanConfig config;
+    config.crashes.push_back({1, 1u << 20, 0});  // far beyond the run
+    FaultPlan plan(config);
+    if (with_inert_plan) sim.set_fault_injector(&plan);
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_call(i, [&sim, i] {
+        sim.send(0, 1, 200, {static_cast<std::uint8_t>(i)});
+      });
+    }
+    sim.run();
+    std::vector<sim::SimTime> times;
+    for (const auto& d : rx->deliveries) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ------------------------------------------- ring-buffer sink accounting
+
+TEST(RingBufferSink, ExportsTotalAndDroppedCounters) {
+  obs::RingBufferSink sink(2);
+  for (int i = 0; i < 5; ++i) {
+    sink.on_event({obs::TraceEventType::kMessageSend,
+                   static_cast<std::uint64_t>(i), 0, 1, 200, 0, 0});
+  }
+  EXPECT_EQ(sink.total(), 5u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].time, 3u);  // newest two retained
+
+  obs::Registry registry;
+  sink.export_metrics(registry);
+  EXPECT_EQ(registry.counter("trace_events_total").value(), 5u);
+  EXPECT_EQ(registry.counter("trace_events_dropped").value(), 3u);
+  // set(), not inc(): re-export stays idempotent.
+  sink.export_metrics(registry);
+  EXPECT_EQ(registry.counter("trace_events_total").value(), 5u);
+}
+
+TEST(RingBufferSink, ExportBeforeOverflowReportsZeroDropped) {
+  obs::RingBufferSink sink(8);
+  sink.on_event({obs::TraceEventType::kMessageSend, 1, 0, 1, 200, 0, 0});
+  obs::Registry registry;
+  sink.export_metrics(registry);
+  EXPECT_EQ(registry.counter("trace_events_total").value(), 1u);
+  EXPECT_EQ(registry.counter("trace_events_dropped").value(), 0u);
+}
+
+}  // namespace
+}  // namespace mocc::fault

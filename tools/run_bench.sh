@@ -5,15 +5,15 @@
 #                           [--out=PATH] [--trace=PATH] [--wallclock]
 #
 # Builds the bench_report driver (build/ is configured on first use) and
-# runs the E1-E7 experiment suite, writing the schema-versioned
+# runs the E1-E8 experiment suite, writing the schema-versioned
 # BENCH_results.json artifact at the repo root (schema documented in
 # docs/observability.md). The artifact carries only deterministic
 # virtual-time metrics, so rerunning with the same flags produces a
 # byte-identical file — diff it, golden-test it, or feed it to the table
 # generators in EXPERIMENTS.md.
 #
-#   --smoke      reduced CI-sized sweeps (seconds; still covers E1-E7)
-#   --only=...   comma-separated subset of E1..E7
+#   --smoke      reduced CI-sized sweeps (seconds; still covers E1-E8)
+#   --only=...   comma-separated subset of E1..E8 (case-insensitive)
 #   --print      also render per-experiment tables to stdout
 #   --out=PATH   artifact path (default: BENCH_results.json)
 #   --trace=PATH additionally write a demo JSONL event trace
@@ -35,7 +35,9 @@ FORWARD=()
 for arg in "$@"; do
   case "${arg}" in
     --wallclock) WALLCLOCK=1 ;;
-    --only=*) ONLY="${arg#--only=}"; FORWARD+=("${arg}") ;;
+    # Normalize the subset to upper case so `--only=e8` works too.
+    --only=*) ONLY="$(echo "${arg#--only=}" | tr '[:lower:]' '[:upper:]')"
+              FORWARD+=("--only=${ONLY}") ;;
     *) FORWARD+=("${arg}") ;;
   esac
 done
@@ -56,15 +58,16 @@ if [ "${WALLCLOCK}" -eq 1 ]; then
     [E5]=bench_e5_constrained_checker
     [E6]=bench_e6_baselines
     [E7]=bench_e7_asynchrony
+    [E8]=bench_e8_faults
   )
-  SELECTED=(E1 E2 E3 E4 E5 E6 E7)
+  SELECTED=(E1 E2 E3 E4 E5 E6 E7 E8)
   if [ -n "${ONLY}" ]; then
     IFS=',' read -r -a SELECTED <<<"${ONLY}"
   fi
   for exp in "${SELECTED[@]}"; do
     bin="${BINARIES[${exp}]:-}"
     if [ -z "${bin}" ]; then
-      echo "unknown experiment '${exp}' (expected E1..E7)" >&2
+      echo "unknown experiment '${exp}' (expected E1..E8)" >&2
       exit 2
     fi
     cmake --build "${BUILD_DIR}" -j "${JOBS}" --target "${bin}"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Chaos harness driver: sweeps fault rates x seeds x replica protocols
+# through the full audit / admissibility checkers (src/fault/chaos.cpp).
+#
+# Usage: tools/run_chaos.sh [--smoke] [chaos flags...]
+#
+#   --smoke      CI-sized sweep (all three protocols, drop 10%, a few
+#                seeds) — finishes in well under a second
+#   all other flags are forwarded to the chaos binary (see chaos --help:
+#   --seeds=N, --ops=N, --drop=0.02,0.10, --dup=R, --protocols=...,
+#   --no-partition, --base-seed=N)
+#
+# Exits non-zero when any run violates its consistency condition, leaves
+# the workload incomplete, or exhausts a retransmit budget. Run it under
+# the asan-ubsan preset (BUILD_DIR=build-asan-ubsan) to also fail on
+# leaks and UB — that is what the CI chaos-smoke job does.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target chaos
+
+exec "${BUILD_DIR}/src/fault/chaos" "$@"
