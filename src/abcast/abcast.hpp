@@ -33,12 +33,14 @@
 
 #include "fault/reliable_link.hpp"
 #include "sim/simulator.hpp"
+#include "sim/wire_kinds.hpp"
 
 namespace mocc::abcast {
 
-/// Message-kind ranges (simulator-wide convention).
-inline constexpr std::uint32_t kAbcastKindFirst = 100;
-inline constexpr std::uint32_t kAbcastKindLast = 199;
+/// Message-kind range reserved for the abcast layer (sim/wire_kinds.hpp
+/// holds the simulator-wide partition).
+inline constexpr std::uint32_t kAbcastKindFirst = sim::wire::kAbcastFirst;
+inline constexpr std::uint32_t kAbcastKindLast = sim::wire::kAbcastLast;
 
 class AtomicBroadcast {
  public:

@@ -25,9 +25,9 @@ namespace mocc::abcast {
 
 class IsisAbcast final : public AtomicBroadcast {
  public:
-  static constexpr std::uint32_t kPropose = kAbcastKindFirst + 10;
-  static constexpr std::uint32_t kProposal = kAbcastKindFirst + 11;
-  static constexpr std::uint32_t kFinal = kAbcastKindFirst + 12;
+  static constexpr std::uint32_t kPropose = sim::wire::abcast_kind(10);
+  static constexpr std::uint32_t kProposal = sim::wire::abcast_kind(11);
+  static constexpr std::uint32_t kFinal = sim::wire::abcast_kind(12);
 
   void broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) override;
   bool on_message(sim::Context& ctx, const sim::Message& message) override;

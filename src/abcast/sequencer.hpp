@@ -18,8 +18,8 @@ namespace mocc::abcast {
 
 class SequencerAbcast final : public AtomicBroadcast {
  public:
-  static constexpr std::uint32_t kSubmit = kAbcastKindFirst + 0;
-  static constexpr std::uint32_t kDeliver = kAbcastKindFirst + 1;
+  static constexpr std::uint32_t kSubmit = sim::wire::abcast_kind(0);
+  static constexpr std::uint32_t kDeliver = sim::wire::abcast_kind(1);
   static constexpr sim::NodeId kSequencerNode = 0;
 
   void broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) override;

@@ -36,15 +36,16 @@
 
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
+#include "sim/wire_kinds.hpp"
 
 namespace mocc::fault {
 
 /// Message-kind range reserved for the reliable link (below abcast's
-/// [100, 199] and the protocols' [200, ...)).
-inline constexpr std::uint32_t kLinkKindFirst = 50;
-inline constexpr std::uint32_t kLinkData = 50;
-inline constexpr std::uint32_t kLinkAck = 51;
-inline constexpr std::uint32_t kLinkKindLast = 99;
+/// [100, 199] and the protocols' [200, 299]; see sim/wire_kinds.hpp).
+inline constexpr std::uint32_t kLinkKindFirst = sim::wire::kReliableLinkFirst;
+inline constexpr std::uint32_t kLinkData = sim::wire::reliable_link_kind(0);
+inline constexpr std::uint32_t kLinkAck = sim::wire::reliable_link_kind(1);
+inline constexpr std::uint32_t kLinkKindLast = sim::wire::kReliableLinkLast;
 
 /// High-bit tag distinguishing link retransmit timers from host timers.
 inline constexpr std::uint64_t kLinkTimerTag = 1ULL << 62;

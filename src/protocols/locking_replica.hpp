@@ -29,12 +29,12 @@ namespace mocc::protocols {
 
 class LockingReplica final : public Replica {
  public:
-  static constexpr std::uint32_t kLockReq = kProtocolKindFirst + 10;
-  static constexpr std::uint32_t kLockGrant = kProtocolKindFirst + 11;
-  static constexpr std::uint32_t kReadReq = kProtocolKindFirst + 12;
-  static constexpr std::uint32_t kReadResp = kProtocolKindFirst + 13;
-  static constexpr std::uint32_t kCommitReq = kProtocolKindFirst + 14;
-  static constexpr std::uint32_t kCommitAck = kProtocolKindFirst + 15;
+  static constexpr std::uint32_t kLockReq = sim::wire::protocols_kind(10);
+  static constexpr std::uint32_t kLockGrant = sim::wire::protocols_kind(11);
+  static constexpr std::uint32_t kReadReq = sim::wire::protocols_kind(12);
+  static constexpr std::uint32_t kReadResp = sim::wire::protocols_kind(13);
+  static constexpr std::uint32_t kCommitReq = sim::wire::protocols_kind(14);
+  static constexpr std::uint32_t kCommitAck = sim::wire::protocols_kind(15);
 
   struct Options {
     /// Aggregate-object strawman: one global exclusive lock for every

@@ -35,8 +35,8 @@ namespace mocc::protocols {
 
 class MLinReplica final : public Replica {
  public:
-  static constexpr std::uint32_t kQuery = kProtocolKindFirst + 0;
-  static constexpr std::uint32_t kQueryResp = kProtocolKindFirst + 1;
+  static constexpr std::uint32_t kQuery = sim::wire::protocols_kind(0);
+  static constexpr std::uint32_t kQueryResp = sim::wire::protocols_kind(1);
 
   struct Options {
     /// §5.2 optimization: replies carry only the objects the query may

@@ -107,7 +107,7 @@ core::ProtocolTrace ExecutionRecorder::build_trace(const core::History& h,
   trace.is_update.reserve(records_.size());
   for (const auto& record : records_) {
     util::VersionVector ts = record.timestamp;
-    if (ts.size() == 0) ts = util::VersionVector(num_objects_);
+    if (ts.empty()) ts = util::VersionVector(num_objects_);
     trace.timestamps.push_back(std::move(ts));
     // Broadcast position present <=> conservatively an update.
     trace.is_update.push_back(record.ww_seq.has_value());

@@ -85,8 +85,8 @@ class ExecutionRecorder {
   bool all_completed_locked() const MOCC_REQUIRES(mu_);
   util::BitRelation build_ww_order_locked() const MOCC_REQUIRES(mu_);
 
-  std::size_t num_processes_;
-  std::size_t num_objects_;
+  const std::size_t num_processes_;
+  const std::size_t num_objects_;
   mutable std::mutex mu_;
   std::deque<InvocationRecord> records_ MOCC_GUARDED_BY(mu_);
 };

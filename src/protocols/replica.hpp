@@ -15,11 +15,13 @@
 #include "obs/trace.hpp"
 #include "protocols/recorder.hpp"
 #include "sim/simulator.hpp"
+#include "sim/wire_kinds.hpp"
 
 namespace mocc::protocols {
 
-/// Protocol-layer message kinds (the abcast layer owns 100–199).
-inline constexpr std::uint32_t kProtocolKindFirst = 200;
+/// Protocol-layer message kinds (range [200, 299]; the simulator-wide
+/// partition lives in sim/wire_kinds.hpp).
+inline constexpr std::uint32_t kProtocolKindFirst = sim::wire::kProtocolsFirst;
 
 struct InvocationOutcome {
   core::MOpId id = 0;

@@ -7,11 +7,17 @@
 
 namespace mocc::sim {
 
-ParallelRunner::ParallelRunner(std::size_t threads) : threads_(threads) {
-  if (threads_ == 0) {
-    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(std::size_t threads)
+    : threads_(resolve_threads(threads)) {}
 
 void ParallelRunner::record_error(std::exception_ptr error) {
   std::lock_guard<std::mutex> lock(error_mu_);

@@ -44,7 +44,7 @@ class ParallelRunner {
   void record_error(std::exception_ptr error) MOCC_EXCLUDES(error_mu_);
   bool has_error() const MOCC_EXCLUDES(error_mu_);
 
-  std::size_t threads_;
+  const std::size_t threads_;
   mutable std::mutex error_mu_;
   std::exception_ptr first_error_ MOCC_GUARDED_BY(error_mu_);
 };

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "obs/trace.hpp"
+#include "sim/wire_kinds.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -70,6 +71,9 @@ void Simulator::drain_posted() {
 void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
                      std::vector<std::uint8_t> payload) {
   MOCC_ASSERT(from < actors_.size() && to < actors_.size());
+  // Every kind on the wire must belong to a range registered in
+  // sim/wire_kinds.hpp (hot path, so debug builds only).
+  MOCC_DEBUG_ASSERT(wire::is_registered(kind));
   const std::size_t bytes = payload.size();
   MOCC_DEBUG() << "t=" << now_ << " send " << from << "->" << to << " kind=" << kind
                << " bytes=" << bytes;
@@ -156,6 +160,7 @@ void Simulator::dispatch(const Event& event) {
   }
   MOCC_DEBUG() << "t=" << now_ << " deliver " << event.message.from << "->"
                << event.message.to << " kind=" << event.message.kind;
+  MOCC_DEBUG_ASSERT(wire::is_registered(event.message.kind));
   if (faults_ != nullptr && faults_->is_down(event.message.to, now_)) {
     if (trace_ != nullptr) {
       trace_->on_event({obs::TraceEventType::kFaultCrashDiscard, now_,

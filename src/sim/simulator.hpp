@@ -197,6 +197,9 @@ class Simulator {
   std::mutex post_mu_;
   std::vector<std::function<void()>> posted_ MOCC_GUARDED_BY(post_mu_);
 
+  // mocc-lint: allow-begin(guarded-by): post_mu_ guards only posted_;
+  // everything below is owned by the single simulation thread (post() is
+  // the one cross-thread entry point, and it touches posted_ alone).
   std::unique_ptr<DelayModel> delay_;
   util::Rng rng_;
   std::vector<std::unique_ptr<Actor>> actors_;
@@ -207,6 +210,7 @@ class Simulator {
   TrafficStats traffic_;
   obs::TraceSink* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  // mocc-lint: allow-end(guarded-by)
 };
 
 }  // namespace mocc::sim

@@ -1,0 +1,127 @@
+// Central registry of message-kind ranges.
+//
+// Message kinds discriminate wire traffic (sim::Message::kind) and key
+// the traffic statistics and trace events, so the layers of the stack
+// partition the kind space instead of coordinating at runtime: a layer
+// consumes exactly the kinds inside its reserved range and routes the
+// rest onward. Before this registry the partition lived in per-layer
+// comments; now the ranges are named constants in one table, the
+// partition is checked at compile time (static_assert below), every
+// per-layer kind constant derives from its component's helper, and the
+// simulator rejects out-of-registry kinds in debug builds
+// (Simulator::send / dispatch).
+//
+// tools/mocc_lint reads the kKindRanges table (mocc-wire-kind check):
+// keep one entry per line with literal component names and bounds, and
+// define new kind constants via the <component>_kind helpers so the lint
+// can compute their values and detect cross-TU collisions.
+//
+// Changing an existing kind's numeric value changes the
+// messages_by_kind keys in BENCH_results.json and breaks the golden
+// artifacts (tests/golden/) — append to ranges, never renumber.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace mocc::sim::wire {
+
+/// One component's reserved slice of the kind space (both ends
+/// inclusive).
+struct KindRange {
+  std::string_view component;
+  std::uint32_t first;
+  std::uint32_t last;
+};
+
+/// The whole partition, sorted by range. "app" is the scratch range for
+/// tests, examples, and ad-hoc actors that never share a simulation with
+/// the production stack's layers.
+inline constexpr KindRange kKindRanges[] = {
+    {"app", 0, 49},
+    {"reliable_link", 50, 99},
+    {"abcast", 100, 199},
+    {"protocols", 200, 299},
+};
+
+inline constexpr std::size_t kNumKindRanges =
+    sizeof(kKindRanges) / sizeof(kKindRanges[0]);
+
+/// Sanity of the table itself: every range non-empty, ranges strictly
+/// ascending and pairwise disjoint.
+constexpr bool kind_ranges_sorted_and_disjoint() {
+  for (std::size_t i = 0; i < kNumKindRanges; ++i) {
+    if (kKindRanges[i].first > kKindRanges[i].last) return false;
+    if (i + 1 < kNumKindRanges &&
+        kKindRanges[i].last >= kKindRanges[i + 1].first) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(kind_ranges_sorted_and_disjoint(),
+              "wire_kinds.hpp: kind ranges must be sorted and disjoint");
+
+/// True when some component's range contains `kind`.
+constexpr bool is_registered(std::uint32_t kind) {
+  for (std::size_t i = 0; i < kNumKindRanges; ++i) {
+    if (kind >= kKindRanges[i].first && kind <= kKindRanges[i].last) return true;
+  }
+  return false;
+}
+
+/// Owning component's name, or "unregistered".
+constexpr std::string_view component_of(std::uint32_t kind) {
+  for (std::size_t i = 0; i < kNumKindRanges; ++i) {
+    if (kind >= kKindRanges[i].first && kind <= kKindRanges[i].last) {
+      return kKindRanges[i].component;
+    }
+  }
+  return "unregistered";
+}
+
+namespace detail {
+/// kind = range.first + offset, aborting (compile error in constant
+/// evaluation) when the offset leaves the component's range.
+constexpr std::uint32_t kind_at(const KindRange& range, std::uint32_t offset) {
+  if (offset > range.last - range.first) {
+    assert_fail("offset > range.last - range.first", __FILE__, __LINE__,
+                "wire_kinds.hpp: kind offset outside the component's range");
+  }
+  return range.first + offset;
+}
+}  // namespace detail
+
+// Per-component named ranges and kind constructors. Every message-kind
+// constant in the tree must be defined through one of these helpers
+// (enforced by mocc-lint's wire-kind check).
+inline constexpr std::uint32_t kAppFirst = kKindRanges[0].first;
+inline constexpr std::uint32_t kAppLast = kKindRanges[0].last;
+inline constexpr std::uint32_t kReliableLinkFirst = kKindRanges[1].first;
+inline constexpr std::uint32_t kReliableLinkLast = kKindRanges[1].last;
+inline constexpr std::uint32_t kAbcastFirst = kKindRanges[2].first;
+inline constexpr std::uint32_t kAbcastLast = kKindRanges[2].last;
+inline constexpr std::uint32_t kProtocolsFirst = kKindRanges[3].first;
+inline constexpr std::uint32_t kProtocolsLast = kKindRanges[3].last;
+
+constexpr std::uint32_t app_kind(std::uint32_t offset) {
+  return detail::kind_at(kKindRanges[0], offset);
+}
+constexpr std::uint32_t reliable_link_kind(std::uint32_t offset) {
+  return detail::kind_at(kKindRanges[1], offset);
+}
+constexpr std::uint32_t abcast_kind(std::uint32_t offset) {
+  return detail::kind_at(kKindRanges[2], offset);
+}
+constexpr std::uint32_t protocols_kind(std::uint32_t offset) {
+  return detail::kind_at(kKindRanges[3], offset);
+}
+
+static_assert(reliable_link_kind(0) == 50 && abcast_kind(0) == 100 &&
+                  protocols_kind(0) == 200,
+              "wire_kinds.hpp: historical kind values are load-bearing "
+              "(golden bench artifacts key traffic by numeric kind)");
+
+}  // namespace mocc::sim::wire

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 #include <string>
+// mocc-lint: allow(determinism): header for the membership-only failed_ memo below
 #include <unordered_set>
 
 #include "util/assert.hpp"
@@ -133,6 +134,10 @@ class SerialSearch {
   std::vector<TxnId> last_writer_;
   std::vector<bool> placed_;
   std::vector<TxnId> order_;
+  // Memo of search states already proven dead. Queried with count() and
+  // grown with insert() only — never iterated, so its hash order cannot
+  // reach the verdict or any artifact.
+  // mocc-lint: allow(determinism): membership-only memo; never iterated
   std::unordered_set<std::string> failed_;
 };
 

@@ -26,6 +26,8 @@ class VersionVector {
   }
 
   std::size_t size() const { return v_.size(); }
+  /// True for a default-constructed vector (no objects tracked yet).
+  bool empty() const { return v_.empty(); }
   std::uint64_t operator[](std::size_t x) const { return v_[x]; }
 
   /// Bump the version of object x (a write to x creates a new version).

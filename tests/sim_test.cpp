@@ -6,6 +6,7 @@
 
 #include "sim/delay.hpp"
 #include "sim/simulator.hpp"
+#include "sim/wire_kinds.hpp"
 #include "util/bytes.hpp"
 
 namespace mocc::sim {
@@ -178,6 +179,51 @@ TEST(Simulator, SendToOthersSkipsSelf) {
     EXPECT_EQ(actor.received.size(), 3u);  // from every other node
     for (const auto& m : actor.received) EXPECT_NE(m.from, node);
   }
+}
+
+// ------------------------------------------------------------ wire kinds
+
+TEST(WireKinds, RegistryPartitionsTheKindSpace) {
+  EXPECT_TRUE(wire::kind_ranges_sorted_and_disjoint());
+  // Historical values are load-bearing (golden bench artifacts key
+  // traffic by numeric kind).
+  EXPECT_EQ(wire::reliable_link_kind(0), 50u);
+  EXPECT_EQ(wire::abcast_kind(0), 100u);
+  EXPECT_EQ(wire::protocols_kind(0), 200u);
+  EXPECT_EQ(wire::component_of(0), "app");
+  EXPECT_EQ(wire::component_of(51), "reliable_link");
+  EXPECT_EQ(wire::component_of(110), "abcast");
+  EXPECT_EQ(wire::component_of(215), "protocols");
+  EXPECT_EQ(wire::component_of(300), "unregistered");
+  EXPECT_TRUE(wire::is_registered(wire::kProtocolsLast));
+  EXPECT_FALSE(wire::is_registered(wire::kProtocolsLast + 1));
+}
+
+TEST(WireKinds, KindHelperAbortsOutsideTheRange) {
+  // reliable_link owns [50, 99]: offset 50 would collide with abcast.
+  EXPECT_DEATH((void)wire::reliable_link_kind(50), "outside the component");
+}
+
+/// Sends one message with an out-of-registry kind at start.
+class RogueSender final : public Actor {
+ public:
+  void on_start(Context& ctx) override { ctx.send(1, /*kind=*/5000, {}); }
+  void on_message(Context&, const Message&) override {}
+};
+
+TEST(WireKindsDeath, SimulatorRejectsUnregisteredKindInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "MOCC_DEBUG_ASSERT compiles away under NDEBUG";
+#else
+  EXPECT_DEATH(
+      {
+        Simulator sim(std::make_unique<ConstantDelay>(1), 1);
+        sim.add_node(std::make_unique<RogueSender>());
+        sim.add_node(std::make_unique<Recorder>());
+        sim.run();
+      },
+      "is_registered");
+#endif
 }
 
 // ---------------------------------------------------------------- delays

@@ -1,0 +1,244 @@
+// mocc-lint-ast: clang libTooling frontend for the determinism and
+// guarded-by checks.
+//
+// The portable token engine (main.cpp / checks_*.cpp) over-approximates:
+// any unordered-container mention needs an allow, and member detection
+// rides on the trailing-underscore convention. This frontend runs the
+// same two checks on the real AST — unordered containers are flagged
+// only when their iteration order can escape (range-for / begin()), and
+// members come from FieldDecls with their actual attributes — so its
+// diagnostics are a strict subset. The cross-TU wire-kind and docs-sync
+// trace-registry checks stay in the token engine, which sees the whole
+// tree at once.
+//
+// Built only under -DMOCC_BUILD_LINT=ON when find_package(Clang) finds a
+// development install (headers + libclang-cpp); the default build and
+// the self-tests never need it. Usage:
+//
+//   mocc-lint-ast -p build --mocc-root "$PWD" src/sim/*.cpp ...
+//
+// Inline `// mocc-lint: allow(...)` suppressions are honored by reusing
+// the token engine's SourceFile parser on each file clang visits.
+#include <map>
+#include <memory>
+#include <string>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/Path.h"
+
+#include "lint.hpp"
+
+namespace {
+
+namespace ast = clang::ast_matchers;
+
+llvm::cl::OptionCategory kCategory("mocc-lint-ast options");
+llvm::cl::opt<std::string> kRoot(
+    "mocc-root", llvm::cl::desc("repo root for subtree filtering"),
+    llvm::cl::init("."), llvm::cl::cat(kCategory));
+
+class Reporter {
+ public:
+  explicit Reporter(mocc::lint::Config config) : config_(std::move(config)) {}
+
+  /// Repo-relative path of `loc`, or "" when the location falls outside
+  /// the repo (system headers, builtins).
+  std::string relativize(const clang::SourceManager& sm,
+                         clang::SourceLocation loc) {
+    if (loc.isInvalid()) return {};
+    const clang::SourceLocation spelling = sm.getSpellingLoc(loc);
+    const llvm::StringRef file = sm.getFilename(spelling);
+    if (file.empty()) return {};
+    llvm::SmallString<256> absolute(file);
+    llvm::sys::fs::make_absolute(absolute);
+    llvm::SmallString<256> root(kRoot.getValue());
+    llvm::sys::fs::make_absolute(root);
+    llvm::StringRef rel(absolute);
+    if (!rel.consume_front(root) || !rel.consume_front("/")) return {};
+    return rel.str();
+  }
+
+  void report(const clang::SourceManager& sm, clang::SourceLocation loc,
+              const std::string& check, const std::string& message) {
+    const std::string rel = relativize(sm, loc);
+    if (rel.empty()) return;
+    const unsigned line = sm.getSpellingLineNumber(loc);
+    if (allowed(rel, check, line)) return;
+    mocc::lint::Diagnostic diagnostic{check, rel, line, message};
+    if (seen_.insert(to_string(diagnostic)).second) {
+      llvm::outs() << to_string(diagnostic) << "\n";
+      ++count_;
+    }
+  }
+
+  const mocc::lint::Config& config() const { return config_; }
+  unsigned count() const { return count_; }
+
+ private:
+  /// Lazily parses the file's suppression comments with the shared
+  /// token-engine SourceFile (clang drops comments before matchers run).
+  bool allowed(const std::string& rel, const std::string& check,
+               unsigned line) {
+    auto it = files_.find(rel);
+    if (it == files_.end()) {
+      llvm::SmallString<256> path(kRoot.getValue());
+      llvm::sys::path::append(path, rel);
+      auto buffer = llvm::MemoryBuffer::getFile(path);
+      const std::string text = buffer ? (*buffer)->getBuffer().str() : "";
+      it = files_
+               .emplace(rel, mocc::lint::SourceFile::from_string(rel, text))
+               .first;
+    }
+    return it->second.allowed(check, line);
+  }
+
+  mocc::lint::Config config_;
+  std::map<std::string, mocc::lint::SourceFile> files_;
+  std::set<std::string> seen_;
+  unsigned count_ = 0;
+};
+
+/// determinism: calls of wall-clock / ambient-randomness functions, and
+/// iteration over unordered containers, inside the deterministic
+/// subtree.
+class DeterminismCallback : public ast::MatchFinder::MatchCallback {
+ public:
+  explicit DeterminismCallback(Reporter& reporter) : reporter_(reporter) {}
+
+  void run(const ast::MatchFinder::MatchResult& result) override {
+    const clang::SourceManager& sm = *result.SourceManager;
+    if (const auto* call = result.Nodes.getNodeAs<clang::CallExpr>("call")) {
+      const auto* callee = call->getDirectCallee();
+      if (callee == nullptr) return;
+      if (!in_subtree(sm, call->getBeginLoc())) return;
+      reporter_.report(sm, call->getBeginLoc(), "determinism",
+                       "call of '" + callee->getQualifiedNameAsString() +
+                           "' in the deterministic subtree (wall clock / "
+                           "ambient randomness breaks byte-identical reruns; "
+                           "use the run's seeded util::Rng and virtual time)");
+    }
+    if (const auto* loop =
+            result.Nodes.getNodeAs<clang::CXXForRangeStmt>("loop")) {
+      if (!in_subtree(sm, loop->getBeginLoc())) return;
+      reporter_.report(sm, loop->getBeginLoc(), "determinism",
+                       "range-for over an unordered container in the "
+                       "deterministic subtree (iteration order is "
+                       "implementation-defined; use std::map/std::set or "
+                       "sort at the boundary)");
+    }
+  }
+
+ private:
+  bool in_subtree(const clang::SourceManager& sm, clang::SourceLocation loc) {
+    return reporter_.config().in_deterministic_subtree(
+        reporter_.relativize(sm, loc));
+  }
+
+  Reporter& reporter_;
+};
+
+/// guarded-by: fields of mutex-holding records without a guarded_by /
+/// pt_guarded_by attribute.
+class GuardedByCallback : public ast::MatchFinder::MatchCallback {
+ public:
+  explicit GuardedByCallback(Reporter& reporter) : reporter_(reporter) {}
+
+  void run(const ast::MatchFinder::MatchResult& result) override {
+    const auto* record =
+        result.Nodes.getNodeAs<clang::CXXRecordDecl>("record");
+    if (record == nullptr || !record->hasDefinition()) return;
+    const clang::SourceManager& sm = *result.SourceManager;
+    const std::string rel = reporter_.relativize(sm, record->getBeginLoc());
+    if (!reporter_.config().in_production_tree(rel)) return;
+
+    bool has_mutex = false;
+    for (const auto* field : record->fields()) {
+      if (type_name(field).find("mutex") != std::string::npos) {
+        has_mutex = true;
+        break;
+      }
+    }
+    if (!has_mutex) return;
+
+    for (const auto* field : record->fields()) {
+      const std::string type = type_name(field);
+      if (type.find("mutex") != std::string::npos) continue;
+      if (type.find("atomic") != std::string::npos) continue;
+      if (field->getType().isConstQualified()) continue;
+      if (field->getType()->isReferenceType()) continue;
+      if (field->hasAttr<clang::GuardedByAttr>() ||
+          field->hasAttr<clang::PtGuardedByAttr>()) {
+        continue;
+      }
+      reporter_.report(
+          sm, field->getLocation(), "guarded-by",
+          "mutable member '" + field->getNameAsString() +
+              "' of mutex-holding class '" + record->getNameAsString() +
+              "' lacks MOCC_GUARDED_BY/MOCC_PT_GUARDED_BY (annotate, or "
+              "justify thread confinement with an inline allow)");
+    }
+  }
+
+ private:
+  static std::string type_name(const clang::FieldDecl* field) {
+    return field->getType().getCanonicalType().getAsString();
+  }
+
+  Reporter& reporter_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options =
+      clang::tooling::CommonOptionsParser::create(argc, argv, kCategory);
+  if (!options) {
+    llvm::errs() << llvm::toString(options.takeError());
+    return 2;
+  }
+  clang::tooling::ClangTool tool(options->getCompilations(),
+                                 options->getSourcePathList());
+
+  Reporter reporter(mocc::lint::Config::repo_default());
+  DeterminismCallback determinism(reporter);
+  GuardedByCallback guarded_by(reporter);
+
+  ast::MatchFinder finder;
+  finder.addMatcher(
+      ast::callExpr(
+          ast::callee(ast::functionDecl(ast::hasAnyName(
+              "::std::chrono::system_clock::now",
+              "::std::chrono::steady_clock::now",
+              "::std::chrono::high_resolution_clock::now", "::std::rand",
+              "::std::srand", "::std::time", "::rand", "::srand", "::time",
+              "::gettimeofday", "::clock_gettime", "::clock", "::localtime",
+              "::gmtime", "::timespec_get"))))
+          .bind("call"),
+      &determinism);
+  finder.addMatcher(
+      ast::cxxForRangeStmt(
+          ast::hasRangeInit(ast::expr(ast::hasType(ast::hasUnqualifiedDesugaredType(
+              ast::recordType(ast::hasDeclaration(ast::namedDecl(ast::hasAnyName(
+                  "::std::unordered_map", "::std::unordered_set",
+                  "::std::unordered_multimap", "::std::unordered_multiset")))))))))
+          .bind("loop"),
+      &determinism);
+  finder.addMatcher(ast::cxxRecordDecl(ast::isDefinition()).bind("record"),
+                    &guarded_by);
+
+  const int status =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (status != 0) return status;
+  if (reporter.count() == 0) {
+    llvm::errs() << "mocc-lint-ast: clean\n";
+    return 0;
+  }
+  llvm::errs() << "mocc-lint-ast: " << reporter.count() << " diagnostic(s)\n";
+  return 1;
+}

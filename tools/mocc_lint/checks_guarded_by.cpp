@@ -1,0 +1,180 @@
+// mocc-guarded-by-coverage: mutable members of mutex-holding classes
+// must carry MOCC_GUARDED_BY / MOCC_PT_GUARDED_BY.
+//
+// The classes sim::ParallelRunner and the shared TraceSink machinery
+// reach across threads are exactly the classes that own a mutex, so the
+// portable engine enforces the stronger, simpler invariant: any class
+// (or struct) in the production tree that declares a mutex member must
+// annotate every other mutable data member, or carry an inline allow
+// explaining why the member is safe unguarded (thread-confined state is
+// the usual reason — use an allow-begin/end region for a block of it).
+//
+// Member recognition leans on the repo's naming convention: data members
+// end in '_'. Const, static, constexpr, reference, and std::atomic
+// members are exempt (immutable or self-synchronizing).
+#include "lint.hpp"
+
+namespace mocc::lint {
+
+namespace {
+
+struct Statement {
+  std::size_t first_token = 0;  ///< index into the token stream
+  std::size_t last_token = 0;   ///< inclusive
+};
+
+bool ends_with(std::string_view s, char c) {
+  return !s.empty() && s.back() == c;
+}
+
+/// Index of the matching closer for the opener at `open`, or
+/// tokens.size() when unbalanced.
+std::size_t matching(const std::vector<Token>& tokens, std::size_t open,
+                     std::string_view open_text, std::string_view close_text) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == open_text) ++depth;
+    if (tokens[i].text == close_text) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+void check_guarded_by(const Config& config, const SourceFile& file,
+                      std::vector<Diagnostic>& out) {
+  if (!config.in_production_tree(file.path())) return;
+  const std::vector<Token> tokens = tokenize(file);
+
+  // Find every class/struct body (any nesting: local classes in .cpp
+  // files count — the Logger sink lives in an anonymous namespace).
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        (tokens[i].text != "class" && tokens[i].text != "struct")) {
+      continue;
+    }
+    // `enum class` is not a class; `class X;` is a forward declaration.
+    if (i > 0 && tokens[i - 1].text == "enum") continue;
+    std::size_t j = i + 1;
+    std::string class_name;
+    while (j < tokens.size() && tokens[j].text != "{" && tokens[j].text != ";") {
+      if (tokens[j].kind == Token::Kind::kIdent && class_name.empty()) {
+        class_name = std::string(tokens[j].text);
+      }
+      ++j;
+    }
+    if (j >= tokens.size() || tokens[j].text != ";") {
+      if (j >= tokens.size()) continue;
+      const std::size_t body_open = j;
+      const std::size_t body_close = matching(tokens, body_open, "{", "}");
+
+      // Split the class body into top-level statements, skipping nested
+      // braces (function bodies, nested classes are revisited by the
+      // outer loop anyway, initializers).
+      std::vector<Statement> statements;
+      std::size_t start = body_open + 1;
+      std::size_t k = body_open + 1;
+      while (k < body_close) {
+        const std::string_view text = tokens[k].text;
+        if (text == "{") {
+          const std::size_t close = matching(tokens, k, "{", "}");
+          // A brace block not followed by ';' or ',' or '=' terminates a
+          // statement (function body); one followed by ';' is an
+          // initializer and the ';' closes the statement below.
+          if (close + 1 < body_close && (tokens[close + 1].text == ";" ||
+                                         tokens[close + 1].text == "," ||
+                                         tokens[close + 1].text == "=")) {
+            k = close + 1;
+            continue;
+          }
+          start = close + 1;
+          k = close + 1;
+          continue;
+        }
+        if (text == "(") {  // parameter lists / initializers: skip atomically
+          k = matching(tokens, k, "(", ")") + 1;
+          continue;
+        }
+        if (text == ";") {
+          if (k > start) statements.push_back({start, k - 1});
+          start = k + 1;
+        }
+        if (text == ":" && k > start &&
+            (tokens[k - 1].text == "public" || tokens[k - 1].text == "private" ||
+             tokens[k - 1].text == "protected")) {
+          start = k + 1;  // drop access specifiers
+        }
+        ++k;
+      }
+
+      // Pass 1: does this class own a mutex?
+      auto classify = [&](const Statement& s) {
+        struct Info {
+          bool is_field = false;
+          bool is_mutex = false;
+          bool exempt = false;
+          bool annotated = false;
+          std::string name;
+          std::size_t name_token = 0;
+        } info;
+        for (std::size_t t = s.first_token; t <= s.last_token; ++t) {
+          const std::string_view text = tokens[t].text;
+          // Skip paren groups whole: parameter lists and annotation
+          // arguments (MOCC_EXCLUDES(mu_)) must not look like members.
+          if (text == "(") {
+            t = matching(tokens, t, "(", ")");
+            continue;
+          }
+          if (tokens[t].kind == Token::Kind::kIdent) {
+            if (text == "using" || text == "typedef" || text == "friend" ||
+                text == "enum" || text == "class" || text == "struct" ||
+                text == "static" || text == "constexpr" || text == "operator") {
+              info.exempt = true;
+            }
+            if (text == "const" || text == "atomic") info.exempt = true;
+            if (text == "MOCC_GUARDED_BY" || text == "MOCC_PT_GUARDED_BY") {
+              info.annotated = true;
+            }
+            if (!info.is_field && ends_with(text, '_') && text.size() > 1) {
+              info.is_field = true;
+              info.name = std::string(text);
+              info.name_token = t;
+              // The declared type is everything before the name.
+              for (std::size_t u = s.first_token; u < t; ++u) {
+                if (tokens[u].text == "mutex") info.is_mutex = true;
+                if (tokens[u].text == "&") info.exempt = true;
+              }
+            }
+          }
+        }
+        return info;
+      };
+
+      bool has_mutex = false;
+      for (const auto& s : statements) {
+        const auto info = classify(s);
+        if (info.is_field && info.is_mutex) has_mutex = true;
+      }
+      if (has_mutex) {
+        for (const auto& s : statements) {
+          const auto info = classify(s);
+          if (!info.is_field || info.is_mutex || info.exempt || info.annotated) {
+            continue;
+          }
+          const std::size_t line = file.line_of(tokens[info.name_token].offset);
+          if (file.allowed("guarded-by", line)) continue;
+          out.push_back(
+              {"guarded-by", file.path(), line,
+               "mutable member '" + info.name + "' of mutex-holding class '" +
+                   class_name +
+                   "' lacks MOCC_GUARDED_BY/MOCC_PT_GUARDED_BY (annotate, or "
+                   "justify thread confinement with an inline allow)"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mocc::lint

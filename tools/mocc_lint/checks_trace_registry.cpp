@@ -1,0 +1,252 @@
+// mocc-trace-registry: TraceEvent names form a closed, documented
+// registry.
+//
+// Three places must agree:
+//   1. the TraceEventType enumeration (src/obs/trace.hpp);
+//   2. the obs::to_string switch (src/obs/trace.cpp) that maps each
+//      enumerator to its wire name;
+//   3. the "## Trace events" table in docs/observability.md.
+// Tooling downstream of the trace (BENCH artifact diffing, the message
+// tracer's JSON output) keys on the names, so a renamed or undocumented
+// event silently forks the artifact schema. The check also flags name
+// literals that appear outside the to_string registry — events must be
+// emitted via the enum, never by spelling the string again.
+#include "lint.hpp"
+
+#include <map>
+#include <set>
+
+namespace mocc::lint {
+
+namespace {
+
+/// 1-based line of `offset` in free-standing text (the docs file is not
+/// a SourceFile — markdown gets no C++ masking).
+std::size_t text_line_of(const std::string& text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+struct Enumerator {
+  std::string name;  ///< kMessageSend
+  std::size_t line = 0;
+};
+
+/// Parses the enumerators of `enum class TraceEventType { ... }`.
+std::vector<Enumerator> parse_enum(const SourceFile& header) {
+  std::vector<Enumerator> enumerators;
+  const std::vector<Token> tokens = tokenize(header);
+  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (tokens[i].text != "enum" || tokens[i + 1].text != "class" ||
+        tokens[i + 2].text != "TraceEventType") {
+      continue;
+    }
+    std::size_t j = i + 3;
+    while (j < tokens.size() && tokens[j].text != "{") ++j;
+    bool expecting_name = true;
+    for (++j; j < tokens.size() && tokens[j].text != "}"; ++j) {
+      if (tokens[j].text == ",") {
+        expecting_name = true;
+        continue;
+      }
+      if (expecting_name && tokens[j].kind == Token::Kind::kIdent) {
+        enumerators.push_back({std::string(tokens[j].text),
+                               header.line_of(tokens[j].offset)});
+        expecting_name = false;  // skip any `= value` tail until ','
+      }
+    }
+    break;
+  }
+  return enumerators;
+}
+
+struct Case {
+  std::string enumerator;
+  std::string name;  ///< the returned string literal
+  std::size_t line = 0;
+};
+
+/// Parses `case TraceEventType::kX: return "name";` arms out of the
+/// to_string switch.
+std::vector<Case> parse_switch(const SourceFile& source) {
+  std::vector<Case> cases;
+  const std::vector<Token> tokens = tokenize(source);
+  const auto& literals = source.string_literals();
+  for (std::size_t i = 0; i + 5 < tokens.size(); ++i) {
+    if (tokens[i].text != "case" || tokens[i + 1].text != "TraceEventType" ||
+        tokens[i + 2].text != "::") {
+      continue;
+    }
+    if (tokens[i + 3].kind != Token::Kind::kIdent) continue;
+    if (tokens[i + 4].text != ":" || tokens[i + 5].text != "return") continue;
+    // The returned literal is masked; find it between `return` and `;`.
+    std::size_t semi = i + 6;
+    while (semi < tokens.size() && tokens[semi].text != ";") ++semi;
+    if (semi >= tokens.size()) continue;
+    const SourceFile::Literal* name = nullptr;
+    for (const auto& literal : literals) {
+      if (literal.offset > tokens[i + 5].offset &&
+          literal.offset < tokens[semi].offset) {
+        name = &literal;
+        break;
+      }
+    }
+    if (name == nullptr) continue;
+    cases.push_back({std::string(tokens[i + 3].text), name->value,
+                     source.line_of(tokens[i].offset)});
+  }
+  return cases;
+}
+
+struct DocRow {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// Extracts `| \`name\` | ... |` rows from the "## Trace events" table.
+std::vector<DocRow> parse_docs(const std::string& docs) {
+  std::vector<DocRow> rows;
+  const std::size_t section = docs.find("## Trace events");
+  if (section == std::string::npos) return rows;
+  std::size_t end = docs.find("\n## ", section + 1);
+  if (end == std::string::npos) end = docs.size();
+  std::size_t i = section;
+  while (i < end) {
+    std::size_t line_end = docs.find('\n', i);
+    if (line_end == std::string::npos || line_end > end) line_end = end;
+    // A data row starts "| `name`"; the header row has no backticks.
+    std::size_t p = i;
+    while (p < line_end && (docs[p] == ' ' || docs[p] == '\t')) ++p;
+    if (p < line_end && docs[p] == '|') {
+      ++p;
+      while (p < line_end && docs[p] == ' ') ++p;
+      if (p < line_end && docs[p] == '`') {
+        const std::size_t name_end = docs.find('`', p + 1);
+        if (name_end != std::string::npos && name_end < line_end) {
+          rows.push_back({docs.substr(p + 1, name_end - p - 1),
+                          text_line_of(docs, i)});
+        }
+      }
+    }
+    i = line_end + 1;
+  }
+  return rows;
+}
+
+}  // namespace
+
+void check_trace_registry(const Config& config,
+                          const std::vector<SourceFile>& files,
+                          const std::string& docs_text,
+                          std::vector<Diagnostic>& out) {
+  const SourceFile* header = nullptr;
+  const SourceFile* source = nullptr;
+  for (const auto& file : files) {
+    if (file.path() == config.trace_header_path) header = &file;
+    if (file.path() == config.trace_source_path) source = &file;
+  }
+  if (header == nullptr || source == nullptr) {
+    // A tree without the trace subsystem has nothing to keep in sync
+    // (fixture trees in the self-tests routinely omit it).
+    return;
+  }
+  const std::vector<Enumerator> enumerators = parse_enum(*header);
+  const std::vector<Case> cases = parse_switch(*source);
+  if (enumerators.empty()) {
+    out.push_back({"trace-registry", header->path(), 1,
+                   "TraceEventType enumeration not found"});
+    return;
+  }
+  if (cases.empty()) {
+    out.push_back({"trace-registry", source->path(), 1,
+                   "to_string switch over TraceEventType not found"});
+    return;
+  }
+
+  std::map<std::string, const Case*> by_enumerator;
+  std::map<std::string, const Case*> by_name;
+  for (const auto& c : cases) {
+    if (const auto [it, inserted] = by_enumerator.try_emplace(c.enumerator, &c);
+        !inserted) {
+      out.push_back({"trace-registry", source->path(), c.line,
+                     "duplicate to_string case for '" + c.enumerator + "'"});
+    }
+    if (const auto [it, inserted] = by_name.try_emplace(c.name, &c);
+        !inserted) {
+      out.push_back({"trace-registry", source->path(), c.line,
+                     "trace name '" + c.name + "' is returned for both '" +
+                         it->second->enumerator + "' and '" + c.enumerator +
+                         "'"});
+    }
+  }
+
+  std::set<std::string> enum_names;
+  for (const auto& e : enumerators) {
+    enum_names.insert(e.name);
+    if (by_enumerator.count(e.name) == 0 &&
+        !header->allowed("trace-registry", e.line)) {
+      out.push_back({"trace-registry", header->path(), e.line,
+                     "enumerator '" + e.name +
+                         "' has no to_string case in " + source->path()});
+    }
+  }
+  for (const auto& c : cases) {
+    if (enum_names.count(c.enumerator) == 0) {
+      out.push_back({"trace-registry", source->path(), c.line,
+                     "to_string case for '" + c.enumerator +
+                         "' which is not a TraceEventType enumerator"});
+    }
+  }
+
+  // Docs table must list exactly the registered names.
+  if (docs_text.empty()) {
+    out.push_back({"trace-registry", config.trace_docs_path, 1,
+                   "trace docs file is missing or empty (the \"## Trace "
+                   "events\" table documents the registry)"});
+    return;
+  }
+  const std::vector<DocRow> rows = parse_docs(docs_text);
+  if (rows.empty()) {
+    out.push_back({"trace-registry", config.trace_docs_path, 1,
+                   "no \"## Trace events\" table rows found"});
+    return;
+  }
+  std::set<std::string> documented;
+  for (const auto& row : rows) {
+    documented.insert(row.name);
+    if (by_name.count(row.name) == 0) {
+      out.push_back({"trace-registry", config.trace_docs_path, row.line,
+                     "documented trace event '" + row.name +
+                         "' is not produced by " + source->path()});
+    }
+  }
+  for (const auto& c : cases) {
+    if (documented.count(c.name) == 0) {
+      out.push_back({"trace-registry", source->path(), c.line,
+                     "trace event '" + c.name + "' is missing from the " +
+                         config.trace_docs_path + " table"});
+    }
+  }
+
+  // Registered names must not be re-spelled as literals elsewhere in the
+  // production tree — emit through the enum, or the registry stops being
+  // the single source of the artifact schema.
+  for (const auto& file : files) {
+    if (&file == source) continue;
+    if (!config.in_production_tree(file.path())) continue;
+    for (const auto& literal : file.string_literals()) {
+      if (by_name.count(literal.value) == 0) continue;
+      const std::size_t line = file.line_of(literal.offset);
+      if (file.allowed("trace-registry", line)) continue;
+      out.push_back({"trace-registry", file.path(), line,
+                     "registered trace event name '" + literal.value +
+                         "' spelled as a literal outside the to_string "
+                         "registry (emit via TraceEventType instead)"});
+    }
+  }
+}
+
+}  // namespace mocc::lint

@@ -1,0 +1,536 @@
+// mocc-wire-kind: message-kind constants derive from the central
+// registry, stay in range, live in their component's directory, and
+// never collide across translation units.
+//
+// The registry is the kKindRanges table in src/sim/wire_kinds.hpp; a
+// component's kinds are built with its <component>_kind(offset) helper
+// (or First/Last base constants). The check
+//   1. parses the table (one entry per line, literal values);
+//   2. collects every `constexpr std::uint32_t NAME = EXPR;` in the
+//      tree and evaluates EXPR with a small +/- interpreter that knows
+//      the helpers and base constants — a constant is a *kind constant*
+//      iff its value derives (transitively) from the registry;
+//   3. flags kind constants whose value leaves the component's range,
+//      whose file sits outside the component's directory, or whose
+//      value collides with a different kind constant of the same
+//      component in any TU;
+//   4. flags send call sites whose kind argument is a raw integer
+//      literal or a constant that does not derive from the registry.
+//
+// Send-site argument positions follow the stack's fixed signatures:
+//   send(to, kind, payload)                   Context        3 args, kind #2
+//   send(ctx, to, kind, payload)              link / abcast  4 args, kind #3
+//   send_to_others(kind, payload)             Context        2 args, kind #1
+//   net_send(ctx, to, kind, payload)                         4 args, kind #3
+//   net_send_to_others(ctx, kind, payload)                   3 args, kind #2
+#include "lint.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mocc::lint {
+
+namespace {
+
+struct RangeTable {
+  std::vector<KindRange> ranges;
+
+  const KindRange* by_component(std::string_view name) const {
+    for (const auto& range : ranges) {
+      if (range.component == name) return &range;
+    }
+    return nullptr;
+  }
+  const KindRange* by_value(std::uint32_t kind) const {
+    for (const auto& range : ranges) {
+      if (kind >= range.first && kind <= range.last) return &range;
+    }
+    return nullptr;
+  }
+};
+
+/// "reliable_link" -> "ReliableLink" (the registry's base-constant
+/// naming: kReliableLinkFirst / kReliableLinkLast).
+std::string camel_case(std::string_view component) {
+  std::string camel;
+  bool upper = true;
+  for (const char c : component) {
+    if (c == '_') {
+      upper = true;
+      continue;
+    }
+    camel.push_back(upper ? static_cast<char>(
+                                std::toupper(static_cast<unsigned char>(c)))
+                          : c);
+    upper = false;
+  }
+  return camel;
+}
+
+struct Constant {
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  std::string init;  ///< initializer expression text (masked code)
+  // resolution results:
+  bool resolved = false;
+  bool from_registry = false;
+  bool via_helper = false;  ///< concrete kind (vs. a First/Last marker)
+  bool range_error = false;
+  std::uint32_t value = 0;
+  std::string component;  ///< first registry component the expr touches
+};
+
+/// Recursive-descent evaluator for initializer expressions:
+///   expr  := term (('+'|'-') term)*
+///   term  := NUMBER | ident-chain | ident-chain '(' expr ')' | '(' expr ')'
+/// Identifier chains resolve against the registry (helpers, First/Last
+/// bases) and the cross-TU constant table (transitively).
+class Evaluator {
+ public:
+  Evaluator(const RangeTable& table,
+            std::map<std::string, Constant>& constants)
+      : table_(table), constants_(constants) {
+    for (const auto& range : table_.ranges) {
+      const std::string camel = camel_case(range.component);
+      bases_["k" + camel + "First"] = {range.component, range.first};
+      bases_["k" + camel + "Last"] = {range.component, range.last};
+      helpers_[range.component + "_kind"] = range.component;
+    }
+  }
+
+  struct Result {
+    bool resolved = false;
+    bool from_registry = false;
+    bool via_helper = false;  ///< value came through a _kind() helper
+    bool range_error = false;
+    std::uint32_t value = 0;
+    std::string component;
+  };
+
+  Result eval(const std::string& expr, int depth) {
+    // Re-entrant: nested constant lookups recurse through eval().
+    const std::size_t saved_pos = pos_;
+    std::string saved_text = std::move(text_);
+    text_ = expr;
+    pos_ = 0;
+    Result result = parse_expr(depth);
+    skip_ws();
+    if (pos_ != text_.size()) result.resolved = false;
+    text_ = std::move(saved_text);
+    pos_ = saved_pos;
+    return result;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Result parse_expr(int depth) {
+    Result left = parse_term(depth);
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() ||
+          (text_[pos_] != '+' && text_[pos_] != '-')) {
+        return left;
+      }
+      const char op = text_[pos_++];
+      const Result right = parse_term(depth);
+      if (!left.resolved || !right.resolved) {
+        left.resolved = false;
+        continue;
+      }
+      left.value = op == '+' ? left.value + right.value
+                             : left.value - right.value;
+      left.from_registry = left.from_registry || right.from_registry;
+      left.via_helper = left.via_helper || right.via_helper;
+      left.range_error = left.range_error || right.range_error;
+      if (left.component.empty()) left.component = right.component;
+    }
+  }
+
+  Result parse_term(int depth) {
+    skip_ws();
+    Result result;
+    if (pos_ >= text_.size()) return result;
+    if (text_[pos_] == '(') {
+      ++pos_;
+      result = parse_expr(depth);
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ')') ++pos_;
+      return result;
+    }
+    if (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      std::uint64_t value = 0;
+      bool hex = false;
+      if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        hex = true;
+        pos_ += 2;
+      }
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_];
+        if (c == '\'') {
+          ++pos_;
+          continue;
+        }
+        const int digit = hex ? (std::isxdigit(static_cast<unsigned char>(c))
+                                     ? (std::isdigit(static_cast<unsigned char>(c))
+                                            ? c - '0'
+                                            : std::tolower(c) - 'a' + 10)
+                                     : -1)
+                              : (std::isdigit(static_cast<unsigned char>(c))
+                                     ? c - '0'
+                                     : -1);
+        if (digit < 0) break;
+        value = value * (hex ? 16 : 10) + static_cast<std::uint64_t>(digit);
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (text_[pos_] == 'u' || text_[pos_] == 'U' || text_[pos_] == 'l' ||
+              text_[pos_] == 'L')) {
+        ++pos_;  // integer suffixes
+      }
+      result.resolved = true;
+      result.value = static_cast<std::uint32_t>(value);
+      return result;
+    }
+    if (std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0 ||
+        text_[pos_] == '_') {
+      // Identifier chain a::b::c — only the final component matters for
+      // lookup (the tree never overloads these names across scopes).
+      std::string name;
+      for (;;) {
+        name.clear();
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '_')) {
+          name.push_back(text_[pos_++]);
+        }
+        skip_ws();
+        if (pos_ + 1 < text_.size() && text_[pos_] == ':' &&
+            text_[pos_ + 1] == ':') {
+          pos_ += 2;
+          skip_ws();
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (const auto helper = helpers_.find(name); helper != helpers_.end()) {
+        if (pos_ >= text_.size() || text_[pos_] != '(') return result;
+        ++pos_;
+        const Result offset = parse_expr(depth);
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ')') ++pos_;
+        if (!offset.resolved) return result;
+        const KindRange* range = table_.by_component(helper->second);
+        result.resolved = true;
+        result.from_registry = true;
+        result.via_helper = true;
+        result.component = helper->second;
+        result.value = range->first + offset.value;
+        result.range_error = offset.value > range->last - range->first;
+        return result;
+      }
+      if (const auto base = bases_.find(name); base != bases_.end()) {
+        result.resolved = true;
+        result.from_registry = true;
+        result.component = base->second.first;
+        result.value = base->second.second;
+        return result;
+      }
+      if (depth < 8) {
+        if (const auto it = constants_.find(name); it != constants_.end()) {
+          Constant& ref = it->second;
+          const Result nested = eval(ref.init, depth + 1);
+          return nested;
+        }
+      }
+      return result;  // unknown identifier: unresolved
+    }
+    return result;
+  }
+
+  const RangeTable& table_;
+  std::map<std::string, Constant>& constants_;
+  std::map<std::string, std::pair<std::string, std::uint32_t>> bases_;
+  std::map<std::string, std::string> helpers_;  ///< helper name -> component
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// Collects `constexpr std::uint32_t NAME = EXPR;` declarations from the
+/// masked code of one file.
+void collect_constants(const SourceFile& file,
+                       std::map<std::string, Constant>& constants) {
+  const std::vector<Token> tokens = tokenize(file);
+  for (std::size_t i = 0; i + 6 < tokens.size(); ++i) {
+    if (tokens[i].text != "constexpr") continue;
+    // constexpr [std ::] uint32_t NAME = ... ;
+    std::size_t j = i + 1;
+    if (tokens[j].text == "std" && tokens[j + 1].text == "::") j += 2;
+    if (tokens[j].text != "uint32_t") continue;
+    ++j;
+    if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) continue;
+    const std::size_t name_index = j;
+    ++j;
+    if (j >= tokens.size() || tokens[j].text != "=") continue;
+    ++j;
+    std::size_t k = j;
+    while (k < tokens.size() && tokens[k].text != ";") ++k;
+    if (k >= tokens.size()) continue;
+    const std::size_t init_begin = tokens[j].offset;
+    const std::size_t init_end = tokens[k].offset;
+    Constant constant;
+    constant.name = std::string(tokens[name_index].text);
+    constant.file = file.path();
+    constant.line = file.line_of(tokens[name_index].offset);
+    constant.init = file.code().substr(init_begin, init_end - init_begin);
+    // First declaration wins; the tree keeps these names unique, and
+    // fixtures that deliberately collide use distinct names.
+    constants.emplace(constant.name, std::move(constant));
+  }
+}
+
+/// Splits the argument list starting right after the '(' at `open` into
+/// top-level argument token ranges. Returns the index of the matching
+/// ')' (or tokens.size()).
+std::size_t split_args(const std::vector<Token>& tokens, std::size_t open,
+                       std::vector<std::pair<std::size_t, std::size_t>>& args) {
+  std::size_t depth = 1;
+  std::size_t start = open + 1;
+  std::size_t i = open + 1;
+  for (; i < tokens.size(); ++i) {
+    const std::string_view text = tokens[i].text;
+    if (text == "(" || text == "[" || text == "{") ++depth;
+    if (text == ")" || text == "]" || text == "}") {
+      if (--depth == 0) break;
+    }
+    if (text == "," && depth == 1) {
+      if (i > start) args.push_back({start, i - 1});
+      start = i + 1;
+    }
+  }
+  if (i > start && i < tokens.size()) args.push_back({start, i - 1});
+  return i;
+}
+
+std::uint32_t parse_number(std::string_view text) {
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c == '\'') continue;
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) break;  // suffixes
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+std::optional<std::vector<KindRange>> parse_kind_ranges(
+    const SourceFile& registry, std::vector<Diagnostic>& out) {
+  // Table rows look like:  {"abcast", 100, 199},
+  // String contents are masked, so the tokens of a row are
+  // `{ , NUMBER , NUMBER }` and the component name is recovered from the
+  // literal list by offset.
+  std::vector<KindRange> ranges;
+  std::vector<std::size_t> row_lines;
+  const std::vector<Token> tokens = tokenize(registry);
+  const auto& literals = registry.string_literals();
+  for (std::size_t i = 0; i + 5 < tokens.size(); ++i) {
+    if (tokens[i].text != "{" || tokens[i + 1].text != ",") continue;
+    if (tokens[i + 2].kind != Token::Kind::kNumber) continue;
+    if (tokens[i + 3].text != "," || tokens[i + 4].kind != Token::Kind::kNumber)
+      continue;
+    if (tokens[i + 5].text != "}") continue;
+    // The masked component-name literal sat between '{' and ','.
+    const SourceFile::Literal* name = nullptr;
+    for (const auto& literal : literals) {
+      if (literal.offset > tokens[i].offset &&
+          literal.offset < tokens[i + 1].offset) {
+        name = &literal;
+        break;
+      }
+    }
+    if (name == nullptr || name->value.empty()) continue;
+    ranges.push_back({name->value, parse_number(tokens[i + 2].text),
+                      parse_number(tokens[i + 4].text)});
+    row_lines.push_back(registry.line_of(tokens[i].offset));
+    i += 5;
+  }
+  if (ranges.empty()) {
+    out.push_back({"wire-kind", registry.path(), 1,
+                   "registry header has no parseable kKindRanges rows "
+                   "({\"component\", first, last} with literal bounds)"});
+    return std::nullopt;
+  }
+  bool malformed = false;
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    if (ranges[r].first > ranges[r].last) {
+      out.push_back({"wire-kind", registry.path(), row_lines[r],
+                     "registry range '" + ranges[r].component +
+                         "' is inverted (first > last)"});
+      malformed = true;
+    }
+    if (r > 0 && ranges[r].first <= ranges[r - 1].last) {
+      out.push_back({"wire-kind", registry.path(), row_lines[r],
+                     "registry range '" + ranges[r].component +
+                         "' overlaps or is not sorted after '" +
+                         ranges[r - 1].component + "'"});
+      malformed = true;
+    }
+  }
+  if (malformed) return std::nullopt;
+  return ranges;
+}
+
+void check_wire_kind(const Config& config, const std::vector<SourceFile>& files,
+                     std::vector<Diagnostic>& out) {
+  const SourceFile* registry = nullptr;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const auto& file : files) {
+    by_path[file.path()] = &file;
+    if (file.path() == config.registry_path) registry = &file;
+  }
+  if (registry == nullptr) {
+    out.push_back({"wire-kind", config.registry_path, 1,
+                   "kind registry header is missing from the scanned tree"});
+    return;
+  }
+  const auto parsed = parse_kind_ranges(*registry, out);
+  if (!parsed.has_value()) return;
+  RangeTable table{*parsed};
+
+  std::map<std::string, Constant> constants;
+  for (const auto& file : files) collect_constants(file, constants);
+  Evaluator evaluator(table, constants);
+  for (auto& [name, constant] : constants) {
+    const Evaluator::Result result = evaluator.eval(constant.init, 0);
+    constant.resolved = result.resolved;
+    constant.from_registry = result.from_registry;
+    constant.value = result.value;
+    constant.component = result.component;
+    constant.via_helper = result.via_helper;
+    constant.range_error = result.range_error;
+  }
+
+  // Per-constant diagnostics. The registry's own declarations are the
+  // definition of the ranges, not uses of them.
+  std::map<std::uint32_t, const Constant*> first_with_value;
+  for (const auto& [name, constant] : constants) {
+    if (constant.file == config.registry_path) continue;
+    if (!constant.resolved || !constant.from_registry) continue;
+    const SourceFile* file = by_path[constant.file];
+    const bool suppressed =
+        file != nullptr && file->allowed("wire-kind", constant.line);
+
+    const KindRange* declared = table.by_component(constant.component);
+    if (constant.range_error ||
+        (declared != nullptr && (constant.value < declared->first ||
+                                 constant.value > declared->last))) {
+      if (!suppressed) {
+        out.push_back({"wire-kind", constant.file, constant.line,
+                       "kind constant '" + name + "' = " +
+                           std::to_string(constant.value) + " escapes the '" +
+                           constant.component + "' range [" +
+                           std::to_string(declared->first) + ", " +
+                           std::to_string(declared->last) + "]"});
+      }
+      continue;  // out-of-range values would fake collisions below
+    }
+    if (const auto dir = config.component_paths.find(constant.component);
+        dir != config.component_paths.end() && !suppressed &&
+        constant.file.compare(0, dir->second.size(), dir->second) != 0) {
+      out.push_back({"wire-kind", constant.file, constant.line,
+                     "kind constant '" + name + "' of component '" +
+                         constant.component + "' is defined outside " +
+                         dir->second +
+                         " (kinds live with their component)"});
+    }
+    // Collisions: only concrete kinds (helper-derived) participate;
+    // First/Last range markers alias kind 0 of their component by design.
+    if (!constant.via_helper) continue;
+    const auto [it, inserted] =
+        first_with_value.try_emplace(constant.value, &constant);
+    if (!inserted) {
+      const Constant& other = *it->second;
+      const SourceFile* other_file = by_path[other.file];
+      const bool other_suppressed =
+          other_file != nullptr && other_file->allowed("wire-kind", other.line);
+      if (!suppressed && !other_suppressed) {
+        out.push_back({"wire-kind", constant.file, constant.line,
+                       "kind constant '" + name + "' = " +
+                           std::to_string(constant.value) + " collides with '" +
+                           other.name + "' (" + other.file + ":" +
+                           std::to_string(other.line) + ")"});
+      }
+    }
+  }
+
+  // Send sites: the kind argument must not be a raw integer literal, and
+  // an expression the evaluator can resolve must derive from the
+  // registry. Runtime-forwarded kinds (plain variables, message fields)
+  // stay out of reach of the token engine and pass.
+  for (const auto& file : files) {
+    if (!config.in_production_tree(file.path())) continue;
+    const std::vector<Token> tokens = tokenize(file);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::kIdent) continue;
+      const std::string_view callee = tokens[i].text;
+      if (callee != "send" && callee != "send_to_others" &&
+          callee != "net_send" && callee != "net_send_to_others") {
+        continue;
+      }
+      if (tokens[i + 1].text != "(") continue;
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      split_args(tokens, i + 1, args);
+      // kind-argument position per (callee, arity); -1 = not a send we
+      // know (e.g. a declaration or an unrelated overload).
+      int kind_arg = -1;
+      if (callee == "send" && args.size() == 3) kind_arg = 1;
+      if (callee == "send" && args.size() == 4) kind_arg = 2;
+      if (callee == "send_to_others" && args.size() == 2) kind_arg = 0;
+      if (callee == "send_to_others" && args.size() == 3) kind_arg = 1;
+      if (callee == "net_send" && args.size() == 4) kind_arg = 2;
+      if (callee == "net_send_to_others" && args.size() == 3) kind_arg = 1;
+      if (kind_arg < 0) continue;
+      const auto [first, last] = args[static_cast<std::size_t>(kind_arg)];
+      // Declarations ("MessageId send(Process to, uint32_t kind, ...)")
+      // have multi-token args whose first token is a type name; weed
+      // them out by requiring the argument to be an expression the
+      // evaluator understands or a single token.
+      const std::size_t line = file.line_of(tokens[first].offset);
+      if (first == last && tokens[first].kind == Token::Kind::kNumber) {
+        if (!file.allowed("wire-kind", line)) {
+          out.push_back(
+              {"wire-kind", file.path(), line,
+               "raw integer kind '" + std::string(tokens[first].text) +
+                   "' passed to " + std::string(callee) +
+                   "() (use a constant derived from sim/wire_kinds.hpp)"});
+        }
+        continue;
+      }
+      const std::size_t expr_begin = tokens[first].offset;
+      const std::size_t expr_end = tokens[last].offset + tokens[last].text.size();
+      const Evaluator::Result result =
+          evaluator.eval(file.code().substr(expr_begin, expr_end - expr_begin),
+                         0);
+      if (result.resolved && !result.from_registry &&
+          !file.allowed("wire-kind", line)) {
+        out.push_back({"wire-kind", file.path(), line,
+                       "kind argument of " + std::string(callee) +
+                           "() resolves to " + std::to_string(result.value) +
+                           " without deriving from sim/wire_kinds.hpp"});
+      }
+    }
+  }
+}
+
+}  // namespace mocc::lint

@@ -1,0 +1,141 @@
+// Driver: file discovery (compilation database + header walk), tree
+// loading, and the check dispatcher shared by the CLI and the
+// self-tests.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mocc::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool has_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative, '/'-separated form of `path` under `root`; empty when
+/// the file lies outside the root.
+std::string relativize(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return {};
+  const std::string s = rel.generic_string();
+  if (s.rfind("..", 0) == 0) return {};
+  return s;
+}
+
+/// Pulls the "file" entries out of compile_commands.json. The format is
+/// fixed (CMake emits an array of objects with directory/command/file),
+/// so a targeted scan beats dragging in a JSON parser.
+std::vector<std::string> compdb_files(const std::string& json,
+                                      const fs::path& root) {
+  std::vector<std::string> files;
+  static constexpr std::string_view kKey = "\"file\"";
+  std::size_t pos = json.find(kKey);
+  while (pos != std::string::npos) {
+    std::size_t i = pos + kKey.size();
+    while (i < json.size() && (json[i] == ' ' || json[i] == ':')) ++i;
+    if (i < json.size() && json[i] == '"') {
+      const std::size_t end = json.find('"', i + 1);
+      if (end != std::string::npos) {
+        const std::string rel =
+            relativize(root, fs::path(json.substr(i + 1, end - i - 1)));
+        if (!rel.empty()) files.push_back(rel);
+      }
+    }
+    pos = json.find(kKey, pos + kKey.size());
+  }
+  return files;
+}
+
+bool in_scanned_tree(std::string_view rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("bench/", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> discover_files(const RunOptions& options) {
+  const fs::path root =
+      options.repo_root.empty() ? fs::path(".") : fs::path(options.repo_root);
+  std::vector<std::string> files;
+
+  // Translation units, from the compilation database when one exists.
+  fs::path compdb = options.compdb_path.empty()
+                        ? root / "build" / "compile_commands.json"
+                        : fs::path(options.compdb_path);
+  if (fs::exists(compdb)) {
+    for (std::string& rel : compdb_files(slurp(compdb), root)) {
+      if (in_scanned_tree(rel)) files.push_back(std::move(rel));
+    }
+  }
+
+  // Headers never appear in the database; walk src/ and bench/ for them
+  // (and for sources too when there was no database at all).
+  for (const char* top : {"src", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !has_extension(entry.path())) continue;
+      const std::string rel = relativize(root, entry.path());
+      if (!rel.empty()) files.push_back(rel);
+    }
+  }
+
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Diagnostic> run_checks(const Config& config,
+                                   const std::vector<SourceFile>& files,
+                                   const std::string& docs_text,
+                                   const std::set<std::string>& checks) {
+  const auto enabled = [&](std::string_view check) {
+    return checks.empty() || checks.count(std::string(check)) != 0;
+  };
+  std::vector<Diagnostic> out;
+  for (const auto& file : files) {
+    if (enabled("suppression")) {
+      const auto& meta = file.suppression_diagnostics();
+      out.insert(out.end(), meta.begin(), meta.end());
+    }
+    if (enabled("determinism")) check_determinism(config, file, out);
+    if (enabled("guarded-by")) check_guarded_by(config, file, out);
+  }
+  if (enabled("wire-kind")) check_wire_kind(config, files, out);
+  if (enabled("trace-registry")) {
+    check_trace_registry(config, files, docs_text, out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Diagnostic> run_lint(const RunOptions& options) {
+  const fs::path root =
+      options.repo_root.empty() ? fs::path(".") : fs::path(options.repo_root);
+  const Config config = Config::repo_default();
+
+  std::vector<SourceFile> files;
+  for (const std::string& rel : discover_files(options)) {
+    files.push_back(SourceFile::from_string(rel, slurp(root / rel)));
+  }
+  const std::string docs = slurp(root / config.trace_docs_path);
+  return run_checks(config, files, docs, options.checks);
+}
+
+}  // namespace mocc::lint

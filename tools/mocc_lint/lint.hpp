@@ -1,0 +1,224 @@
+// mocc-lint: project-specific static checks for the mocc tree.
+//
+// The repo's determinism guarantees (byte-identical simulator reruns,
+// golden bench artifacts, seed-reproducible chaos sweeps) rest on
+// conventions no general-purpose tool checks. mocc-lint turns them into
+// an enforced contract with four checks:
+//
+//   determinism     — no wall clock, no ambient randomness, and no
+//                     unordered containers inside the deterministic
+//                     subtree (src/sim, src/abcast, src/protocols,
+//                     src/fault, src/obs, src/txn, bench/experiments.cpp).
+//   wire-kind       — every message-kind constant derives from the
+//                     central registry (src/sim/wire_kinds.hpp), stays
+//                     inside its component's declared range, is defined
+//                     in its component's directory, and collides with no
+//                     other kind across translation units. Send sites
+//                     must not pass raw integer kinds.
+//   guarded-by      — every mutable data member of a mutex-holding class
+//                     carries MOCC_GUARDED_BY / MOCC_PT_GUARDED_BY (the
+//                     classes sim::ParallelRunner fans work over are
+//                     exactly the mutex-holding ones).
+//   trace-registry  — TraceEvent name literals live only in the
+//                     obs::to_string registry, cover the enum exactly,
+//                     and stay in sync with docs/observability.md.
+//
+// Escape hatch (inline, justification required):
+//   // mocc-lint: allow(<check>): <why this site is safe>
+// on the flagged line, or alone on the line above it. Region form for a
+// block of members / statements:
+//   // mocc-lint: allow-begin(<check>): <why>
+//   ...
+//   // mocc-lint: allow-end(<check>)
+//
+// Two frontends share this engine. The portable token-level frontend
+// (this header + checks_*.cpp) builds everywhere with no dependencies
+// and is what the ctest self-tests exercise; it over-approximates
+// (e.g. any unordered-container mention needs an allow, not just
+// iteration). The clang libTooling frontend (ast_frontend.cpp, built
+// under MOCC_BUILD_LINT=ON when a Clang development install is found)
+// re-implements the determinism and guarded-by checks on the real AST
+// and defers the cross-TU / docs checks to this engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mocc::lint {
+
+/// Check identifiers accepted by the allow() escape hatch. "suppression"
+/// names the meta-check that validates the escape hatches themselves.
+inline constexpr std::string_view kCheckNames[] = {
+    "determinism", "wire-kind", "guarded-by", "trace-registry", "suppression"};
+
+bool is_known_check(std::string_view name);
+
+struct Diagnostic {
+  std::string check;    ///< one of kCheckNames
+  std::string file;     ///< repo-relative path, '/'-separated
+  std::size_t line = 0; ///< 1-based
+  std::string message;
+};
+
+bool operator<(const Diagnostic& a, const Diagnostic& b);
+bool operator==(const Diagnostic& a, const Diagnostic& b);
+
+/// "file:line: check: message" (the gcc-style form editors jump to).
+std::string to_string(const Diagnostic& diagnostic);
+
+/// One scanned file: the raw text, a masked copy where comment and
+/// string-literal bytes are blanked (newlines preserved, so offsets and
+/// line numbers agree), the string literals that were masked out, and
+/// the mocc-lint suppression directives found in comments.
+class SourceFile {
+ public:
+  /// Parses `text` (C++ lexing rules: //, /*...*/, "...", '...',
+  /// raw strings, digit separators). `path` is stored verbatim.
+  static SourceFile from_string(std::string path, std::string text);
+
+  const std::string& path() const { return path_; }
+  const std::string& text() const { return text_; }
+  const std::string& code() const { return code_; }
+
+  std::size_t num_lines() const { return line_starts_.size(); }
+  /// 1-based line containing byte `offset`.
+  std::size_t line_of(std::size_t offset) const;
+
+  struct Literal {
+    std::size_t offset = 0;  ///< of the opening quote
+    std::string value;       ///< raw contents between the quotes
+  };
+  const std::vector<Literal>& string_literals() const { return literals_; }
+
+  /// True when `line` is covered by an allow() or allow-begin/end region
+  /// for `check`.
+  bool allowed(std::string_view check, std::size_t line) const;
+
+  /// Problems with the suppression directives themselves (unknown check
+  /// name, missing justification, unbalanced region).
+  const std::vector<Diagnostic>& suppression_diagnostics() const {
+    return suppression_diagnostics_;
+  }
+
+ private:
+  void index_lines();
+  void mask();  // fills code_, literals_, suppressions
+  void parse_directives(std::size_t comment_offset, std::string_view comment);
+  void finalize_regions();
+
+  std::string path_;
+  std::string text_;
+  std::string code_;
+  std::vector<std::size_t> line_starts_;
+  std::vector<Literal> literals_;
+  /// check -> lines explicitly allowed
+  std::map<std::string, std::set<std::size_t>, std::less<>> allow_lines_;
+  /// check -> [begin, end] line regions
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>,
+           std::less<>>
+      allow_regions_;
+  /// check -> open begin lines (closed by finalize/end)
+  std::map<std::string, std::vector<std::size_t>, std::less<>> open_regions_;
+  std::vector<Diagnostic> suppression_diagnostics_;
+};
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string_view text;   ///< view into SourceFile::code()
+  std::size_t offset = 0;
+};
+
+/// Lexes the masked code: identifiers, numbers, and punctuation (with
+/// "::" "->" "//"-free, multi-char operators folded where the checks
+/// care: "::" and "->" are single tokens).
+std::vector<Token> tokenize(const SourceFile& file);
+
+/// A component's reserved kind range, parsed from the registry header.
+struct KindRange {
+  std::string component;
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+};
+
+struct Config {
+  /// Repo-relative prefixes (directories end with '/') that form the
+  /// deterministic subtree.
+  std::vector<std::string> deterministic_paths;
+  /// component name -> repo-relative directory its kind constants must
+  /// live in (components absent here may define kinds anywhere).
+  std::map<std::string, std::string> component_paths;
+  /// Paths (repo-relative) under which the wire-kind send-site and
+  /// guarded-by checks apply.
+  std::vector<std::string> production_paths;
+  std::string registry_path;      ///< src/sim/wire_kinds.hpp
+  std::string trace_header_path;  ///< src/obs/trace.hpp
+  std::string trace_source_path;  ///< src/obs/trace.cpp
+  std::string trace_docs_path;    ///< docs/observability.md
+
+  /// The configuration the mocc tree is linted with.
+  static Config repo_default();
+
+  bool in_deterministic_subtree(std::string_view path) const;
+  bool in_production_tree(std::string_view path) const;
+};
+
+// --- Checks (portable token engine) ---------------------------------
+
+/// Wall clock, ambient randomness, unordered containers.
+void check_determinism(const Config& config, const SourceFile& file,
+                       std::vector<Diagnostic>& out);
+
+/// GUARDED_BY coverage of mutex-holding classes.
+void check_guarded_by(const Config& config, const SourceFile& file,
+                      std::vector<Diagnostic>& out);
+
+/// Registry derivation, ranges, directories, cross-TU collisions, raw
+/// send-site kinds. Needs every file at once (cross-TU).
+void check_wire_kind(const Config& config, const std::vector<SourceFile>& files,
+                     std::vector<Diagnostic>& out);
+
+/// Enum/to_string/docs three-way sync plus stray name literals.
+/// `docs_text` is the raw markdown (empty = docs file missing, which is
+/// itself diagnosed).
+void check_trace_registry(const Config& config,
+                          const std::vector<SourceFile>& files,
+                          const std::string& docs_text,
+                          std::vector<Diagnostic>& out);
+
+/// Parses the kKindRanges table out of the registry header's masked
+/// code. Returns std::nullopt (and appends a diagnostic) when the table
+/// is missing or malformed (empty, unsorted, overlapping).
+std::optional<std::vector<KindRange>> parse_kind_ranges(
+    const SourceFile& registry, std::vector<Diagnostic>& out);
+
+// --- Driver ----------------------------------------------------------
+
+struct RunOptions {
+  std::string repo_root;    ///< absolute or relative path to the tree
+  std::string compdb_path;  ///< compile_commands.json; "" = auto-detect
+  std::set<std::string> checks;  ///< empty = all four + suppression
+};
+
+/// Translation units from the compilation database (restricted to the
+/// repo's src/ and bench/) unioned with every header under src/ and
+/// bench/. Sorted, repo-relative. Falls back to a filesystem walk when
+/// no database is found.
+std::vector<std::string> discover_files(const RunOptions& options);
+
+/// Loads, scans, and checks the tree; returns sorted diagnostics.
+std::vector<Diagnostic> run_lint(const RunOptions& options);
+
+/// Runs every check over in-memory sources (the self-test entry point;
+/// no filesystem access). `docs_text` feeds trace-registry.
+std::vector<Diagnostic> run_checks(const Config& config,
+                                   const std::vector<SourceFile>& files,
+                                   const std::string& docs_text,
+                                   const std::set<std::string>& checks);
+
+}  // namespace mocc::lint

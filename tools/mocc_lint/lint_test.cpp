@@ -1,0 +1,426 @@
+// Self-tests for the mocc-lint portable engine: fixture snippets per
+// check (positive and negative), the allow escape hatch, the suppression
+// meta-check, and a full scan of the real tree (which must be clean).
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mocc::lint {
+namespace {
+
+/// Fixture configuration: everything under src/ is deterministic, two
+/// registered components alpha [10,19] and beta [20,29] with pinned
+/// directories.
+Config test_config() {
+  Config config;
+  config.deterministic_paths = {"src/"};
+  config.component_paths = {{"alpha", "src/alpha/"}, {"beta", "src/beta/"}};
+  config.production_paths = {"src/", "bench/"};
+  config.registry_path = "src/wire_kinds.hpp";
+  config.trace_header_path = "src/trace.hpp";
+  config.trace_source_path = "src/trace.cpp";
+  config.trace_docs_path = "docs/obs.md";
+  return config;
+}
+
+const char* const kRegistry = R"cpp(
+struct KindRange { const char* component; unsigned first; unsigned last; };
+inline constexpr KindRange kKindRanges[] = {
+    {"alpha", 10, 19},
+    {"beta", 20, 29},
+};
+)cpp";
+
+SourceFile make(std::string path, std::string text) {
+  return SourceFile::from_string(std::move(path), std::move(text));
+}
+
+std::vector<Diagnostic> of_check(const std::vector<Diagnostic>& diagnostics,
+                                 std::string_view check) {
+  std::vector<Diagnostic> filtered;
+  for (const auto& d : diagnostics) {
+    if (d.check == check) filtered.push_back(d);
+  }
+  return filtered;
+}
+
+// --- SourceFile / masking --------------------------------------------
+
+TEST(SourceFileTest, MasksCommentsAndStringsPreservingLines) {
+  const SourceFile file = make("src/a.cpp",
+                               "int a; // unordered_map in a comment\n"
+                               "const char* s = \"system_clock\";\n"
+                               "int b;\n");
+  EXPECT_EQ(file.code().size(), file.text().size());
+  EXPECT_EQ(file.code().find("unordered_map"), std::string::npos);
+  EXPECT_EQ(file.code().find("system_clock"), std::string::npos);
+  ASSERT_EQ(file.string_literals().size(), 1u);
+  EXPECT_EQ(file.string_literals()[0].value, "system_clock");
+  EXPECT_EQ(file.line_of(file.code().find("int b")), 3u);
+}
+
+TEST(SourceFileTest, HandlesRawStringsAndDigitSeparators) {
+  const SourceFile file = make("src/a.cpp",
+                               "auto s = R\"x(rand() \"quoted\")x\";\n"
+                               "int n = 1'000'000;\n");
+  EXPECT_EQ(file.code().find("rand"), std::string::npos);
+  ASSERT_EQ(file.string_literals().size(), 1u);
+  EXPECT_EQ(file.string_literals()[0].value, "rand() \"quoted\"");
+  EXPECT_NE(file.code().find("1'000'000"), std::string::npos);
+}
+
+TEST(SourceFileTest, AllowCoversItsLineAndTheNextWhenStandalone) {
+  const SourceFile file = make("src/a.cpp",
+                               "// mocc-lint: allow(determinism): memo only\n"
+                               "int covered;\n"
+                               "int uncovered;\n"
+                               "int trailing; // mocc-lint: allow(wire-kind): raw on purpose\n");
+  EXPECT_TRUE(file.allowed("determinism", 1));
+  EXPECT_TRUE(file.allowed("determinism", 2));
+  EXPECT_FALSE(file.allowed("determinism", 3));
+  EXPECT_TRUE(file.allowed("wire-kind", 4));
+  EXPECT_FALSE(file.allowed("wire-kind", 5));  // trailing comment: no spill
+  EXPECT_TRUE(file.suppression_diagnostics().empty());
+}
+
+TEST(SourceFileTest, AllowRegionsCoverTheEnclosedLines) {
+  const SourceFile file = make("src/a.cpp",
+                               "// mocc-lint: allow-begin(guarded-by): confined to the sim thread\n"
+                               "int a_;\n"
+                               "int b_;\n"
+                               "// mocc-lint: allow-end(guarded-by)\n"
+                               "int c_;\n");
+  EXPECT_TRUE(file.allowed("guarded-by", 2));
+  EXPECT_TRUE(file.allowed("guarded-by", 3));
+  EXPECT_FALSE(file.allowed("guarded-by", 5));
+  EXPECT_TRUE(file.suppression_diagnostics().empty());
+}
+
+TEST(SuppressionTest, BadDirectivesAreDiagnosed) {
+  const SourceFile file = make(
+      "src/a.cpp",
+      "// mocc-lint: allow(determinism)\n"            // no justification
+      "// mocc-lint: allow(bogus): some reason\n"     // unknown check
+      "// mocc-lint: allow-end(determinism)\n"        // unmatched end
+      "// mocc-lint: allow-begin(wire-kind): why\n"); // never closed
+  const auto& meta = file.suppression_diagnostics();
+  ASSERT_EQ(meta.size(), 4u);
+  EXPECT_NE(meta[0].message.find("justification"), std::string::npos);
+  EXPECT_NE(meta[1].message.find("bogus"), std::string::npos);
+  EXPECT_NE(meta[2].message.find("without a matching begin"),
+            std::string::npos);
+  EXPECT_NE(meta[3].message.find("never closed"), std::string::npos);
+}
+
+// --- determinism ------------------------------------------------------
+
+TEST(DeterminismTest, FlagsClockRandomnessAndUnorderedContainers) {
+  const SourceFile file = make("src/a.cpp",
+                               "auto t = std::chrono::system_clock::now();\n"
+                               "int r = std::rand();\n"
+                               "std::unordered_map<int, int> m;\n");
+  std::vector<Diagnostic> out;
+  check_determinism(test_config(), file, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].line, 1u);
+  EXPECT_EQ(out[1].line, 2u);
+  EXPECT_EQ(out[2].line, 3u);
+}
+
+TEST(DeterminismTest, IgnoresMembersOrderedContainersAndOtherTrees) {
+  const SourceFile inside = make("src/a.cpp",
+                                 "double d = event.time();\n"
+                                 "auto c = obj->clock();\n"
+                                 "std::map<int, int> ordered;\n"
+                                 "int time = 3; int y = time + 1;\n");
+  std::vector<Diagnostic> out;
+  check_determinism(test_config(), inside, out);
+  EXPECT_TRUE(out.empty());
+
+  const SourceFile outside =
+      make("tests/a.cpp", "auto t = std::chrono::system_clock::now();\n");
+  check_determinism(test_config(), outside, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeterminismTest, AllowSuppressesWithJustification) {
+  const SourceFile file = make(
+      "src/a.cpp",
+      "// mocc-lint: allow(determinism): memo set, membership-only\n"
+      "std::unordered_set<int> memo;\n"
+      "std::unordered_set<int> flagged;\n");
+  std::vector<Diagnostic> out;
+  check_determinism(test_config(), file, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 3u);
+}
+
+// --- guarded-by -------------------------------------------------------
+
+TEST(GuardedByTest, FlagsUnannotatedMembersOfMutexHoldingClasses) {
+  const SourceFile file = make("src/a.hpp",
+                               "class Shared {\n"
+                               " public:\n"
+                               "  void complete() MOCC_EXCLUDES(mu_);\n"
+                               " private:\n"
+                               "  std::mutex mu_;\n"
+                               "  int value_ MOCC_GUARDED_BY(mu_);\n"
+                               "  int bad_;\n"
+                               "  std::atomic<bool> flag_;\n"
+                               "  const int limit_ = 3;\n"
+                               "  static int counter_;\n"
+                               "  Widget& ref_;\n"
+                               "};\n");
+  std::vector<Diagnostic> out;
+  check_guarded_by(test_config(), file, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7u);
+  EXPECT_NE(out[0].message.find("'bad_'"), std::string::npos);
+  EXPECT_NE(out[0].message.find("'Shared'"), std::string::npos);
+}
+
+TEST(GuardedByTest, MutexFreeClassesAndAllowRegionsPass) {
+  const SourceFile plain = make("src/a.hpp",
+                                "struct Plain {\n"
+                                "  int value_;\n"
+                                "  std::vector<int> items_;\n"
+                                "};\n");
+  std::vector<Diagnostic> out;
+  check_guarded_by(test_config(), plain, out);
+  EXPECT_TRUE(out.empty());
+
+  const SourceFile confined = make(
+      "src/b.hpp",
+      "class Runner {\n"
+      "  std::mutex mu_;\n"
+      "  int done_ MOCC_GUARDED_BY(mu_);\n"
+      "  // mocc-lint: allow-begin(guarded-by): touched only pre-start\n"
+      "  int workers_;\n"
+      "  // mocc-lint: allow-end(guarded-by)\n"
+      "};\n");
+  check_guarded_by(test_config(), confined, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- wire-kind --------------------------------------------------------
+
+TEST(WireKindTest, ParsesTheRegistryTable) {
+  std::vector<Diagnostic> out;
+  const auto ranges = parse_kind_ranges(make("src/wire_kinds.hpp", kRegistry),
+                                        out);
+  ASSERT_TRUE(ranges.has_value());
+  ASSERT_EQ(ranges->size(), 2u);
+  EXPECT_EQ((*ranges)[0].component, "alpha");
+  EXPECT_EQ((*ranges)[0].first, 10u);
+  EXPECT_EQ((*ranges)[1].last, 29u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireKindTest, RejectsOverlappingRanges) {
+  std::vector<Diagnostic> out;
+  const auto ranges = parse_kind_ranges(
+      make("src/wire_kinds.hpp",
+           "inline constexpr KindRange kKindRanges[] = {\n"
+           "    {\"alpha\", 10, 25},\n"
+           "    {\"beta\", 20, 29},\n"
+           "};\n"),
+      out);
+  EXPECT_FALSE(ranges.has_value());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("overlaps"), std::string::npos);
+}
+
+TEST(WireKindTest, CleanTreeHasNoDiagnostics) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.hpp",
+           "constexpr std::uint32_t kA0 = alpha_kind(0);\n"
+           "constexpr std::uint32_t kA1 = kA0 + 1;\n"
+           "constexpr std::uint32_t kAlphaEnd = kAlphaLast;\n"),
+      make("src/beta/b.hpp", "constexpr std::uint32_t kB0 = beta_kind(0);\n"),
+      make("src/alpha/a.cpp",
+           "void tick(Ctx& ctx) { ctx.send(peer, kA1, payload); }\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+TEST(WireKindTest, FlagsCrossFileCollisions) {
+  // Two components deliberately colliding on the same concrete kind —
+  // the acceptance fixture for the check. First/Last markers equal to
+  // kind 0 are not collisions.
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.hpp",
+           "constexpr std::uint32_t kA0 = alpha_kind(3);\n"
+           "constexpr std::uint32_t kAlphaBase = kAlphaFirst;\n"),
+      make("src/alpha/a2.hpp",
+           "constexpr std::uint32_t kDup = alpha_kind(2) + 1;\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  const auto collisions = of_check(out, "wire-kind");
+  ASSERT_EQ(collisions.size(), 1u);
+  EXPECT_NE(collisions[0].message.find("collides"), std::string::npos);
+  EXPECT_EQ(collisions[0].line, 1u);
+}
+
+TEST(WireKindTest, FlagsRangeEscapesAndForeignDirectories) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.hpp",
+           "constexpr std::uint32_t kTooBig = alpha_kind(15);\n"),
+      make("src/beta/b.hpp",
+           "constexpr std::uint32_t kStray = alpha_kind(1);\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  ASSERT_EQ(out.size(), 2u);
+  std::sort(out.begin(), out.end());
+  EXPECT_NE(out[0].message.find("escapes the 'alpha' range"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find("outside src/alpha/"), std::string::npos);
+}
+
+TEST(WireKindTest, FlagsRawAndNonRegistryKindsAtSendSites) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.cpp",
+           "constexpr std::uint32_t kLocal = 42;\n"
+           "void f(Ctx& ctx) {\n"
+           "  ctx.send(peer, 7, payload);\n"
+           "  ctx.send(peer, kLocal, payload);\n"
+           "  ctx.send(peer, kind, payload);\n"  // runtime variable: passes
+           "  // mocc-lint: allow(wire-kind): probe uses an app-range kind\n"
+           "  ctx.send(peer, 7, payload);\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].line, 3u);
+  EXPECT_NE(out[0].message.find("raw integer kind"), std::string::npos);
+  EXPECT_EQ(out[1].line, 4u);
+  EXPECT_NE(out[1].message.find("without deriving"), std::string::npos);
+}
+
+TEST(WireKindTest, SendDeclarationsAreNotSendSites) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.hpp",
+           "MessageId send(Process to, std::uint32_t kind, Payload payload);\n"
+           "void send_to_others(std::uint32_t kind, Payload payload);\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- trace-registry ---------------------------------------------------
+
+const char* const kTraceHeader =
+    "enum class TraceEventType {\n"
+    "  kFoo,\n"
+    "  kBar,\n"
+    "};\n";
+
+const char* const kTraceSource =
+    "const char* to_string(TraceEventType type) {\n"
+    "  switch (type) {\n"
+    "    case TraceEventType::kFoo: return \"foo\";\n"
+    "    case TraceEventType::kBar: return \"bar\";\n"
+    "  }\n"
+    "  return \"?\";\n"
+    "}\n";
+
+const char* const kTraceDocs =
+    "# Observability\n\n"
+    "## Trace events\n\n"
+    "| Event | Source |\n"
+    "| --- | --- |\n"
+    "| `foo` | somewhere |\n"
+    "| `bar` | elsewhere |\n\n"
+    "## Next section\n";
+
+TEST(TraceRegistryTest, SyncedRegistryIsClean) {
+  const std::vector<SourceFile> files = {make("src/trace.hpp", kTraceHeader),
+                                         make("src/trace.cpp", kTraceSource)};
+  std::vector<Diagnostic> out;
+  check_trace_registry(test_config(), files, kTraceDocs, out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+TEST(TraceRegistryTest, FlagsEveryKindOfDrift) {
+  const std::vector<SourceFile> files = {
+      make("src/trace.hpp",
+           "enum class TraceEventType {\n"
+           "  kFoo,\n"
+           "  kBar,\n"
+           "  kBaz,\n"  // no to_string case
+           "};\n"),
+      make("src/trace.cpp", kTraceSource),
+      // A registered name spelled as a literal outside the registry.
+      make("src/other.cpp", "const char* n = \"foo\";\n")};
+  std::vector<Diagnostic> out;
+  // Docs document `ghost`, which nothing produces; `bar` row missing.
+  check_trace_registry(test_config(), files,
+                       "## Trace events\n"
+                       "| Event |\n"
+                       "| --- |\n"
+                       "| `foo` |\n"
+                       "| `ghost` |\n",
+                       out);
+  std::sort(out.begin(), out.end());  // (file, line): docs, other, cpp, hpp
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NE(out[0].message.find("'ghost' is not produced"), std::string::npos);
+  EXPECT_NE(out[1].message.find("spelled as a literal"), std::string::npos);
+  EXPECT_NE(out[2].message.find("'bar' is missing from"), std::string::npos);
+  EXPECT_NE(out[3].message.find("'kBaz' has no to_string case"),
+            std::string::npos);
+}
+
+// --- driver / real tree ----------------------------------------------
+
+TEST(DriverTest, RunChecksMergesAndSortsAllChecks) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/a.cpp",
+           "// mocc-lint: allow(bogus): nope\n"
+           "std::unordered_map<int, int> m;\n"
+           "void f(Ctx& ctx) { ctx.send(peer, 7, payload); }\n")};
+  const auto all =
+      run_checks(test_config(), files, /*docs_text=*/"", /*checks=*/{});
+  EXPECT_EQ(of_check(all, "suppression").size(), 1u);
+  EXPECT_EQ(of_check(all, "determinism").size(), 1u);
+  EXPECT_EQ(of_check(all, "wire-kind").size(), 1u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+
+  const auto only = run_checks(test_config(), files, "", {"determinism"});
+  EXPECT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0].check, "determinism");
+}
+
+TEST(RepoLintTest, DiscoveryFindsTheRegistryHeader) {
+  RunOptions options;
+  options.repo_root = MOCC_LINT_REPO_ROOT;
+  const auto files = discover_files(options);
+  EXPECT_NE(std::find(files.begin(), files.end(),
+                      std::string("src/sim/wire_kinds.hpp")),
+            files.end());
+  EXPECT_NE(std::find(files.begin(), files.end(),
+                      std::string("src/sim/simulator.cpp")),
+            files.end());
+}
+
+// The acceptance gate: the real tree is lint-clean, with every
+// suppression an explicit, justified inline allow.
+TEST(RepoLintTest, TreeIsClean) {
+  RunOptions options;
+  options.repo_root = MOCC_LINT_REPO_ROOT;
+  const auto diagnostics = run_lint(options);
+  for (const auto& d : diagnostics) ADD_FAILURE() << to_string(d);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace mocc::lint

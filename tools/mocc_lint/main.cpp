@@ -1,0 +1,96 @@
+// mocc-lint CLI.
+//
+//   mocc-lint [--root DIR] [--compdb FILE] [--check NAME]...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: mocc-lint [options]\n"
+      "\n"
+      "Project lint for the mocc tree: scans src/ and bench/ (TUs from\n"
+      "build/compile_commands.json when present, plus every header) and\n"
+      "enforces the determinism, wire-kind, guarded-by, and\n"
+      "trace-registry invariants. See docs/static-analysis.md.\n"
+      "\n"
+      "  --root DIR     repo root to scan (default: .)\n"
+      "  --compdb FILE  compilation database (default:\n"
+      "                 <root>/build/compile_commands.json)\n"
+      "  --check NAME   run only NAME (repeatable); names:\n"
+      "                 determinism wire-kind guarded-by trace-registry\n"
+      "                 suppression\n"
+      "  --list-checks  print check names and exit\n"
+      "  -h, --help     this text\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mocc::lint::RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-checks") {
+      for (const auto name : mocc::lint::kCheckNames) {
+        std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      options.repo_root = v;
+      continue;
+    }
+    if (arg == "--compdb") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      options.compdb_path = v;
+      continue;
+    }
+    if (arg == "--check") {
+      const char* v = value();
+      if (v == nullptr || !mocc::lint::is_known_check(v)) {
+        std::fprintf(stderr, "mocc-lint: unknown check '%s'\n",
+                     v == nullptr ? "" : v);
+        return 2;
+      }
+      options.checks.insert(v);
+      continue;
+    }
+    std::fprintf(stderr, "mocc-lint: unknown option '%s'\n", argv[i]);
+    usage(stderr);
+    return 2;
+  }
+
+  const auto diagnostics = mocc::lint::run_lint(options);
+  for (const auto& diagnostic : diagnostics) {
+    std::printf("%s\n", mocc::lint::to_string(diagnostic).c_str());
+  }
+  if (diagnostics.empty()) {
+    std::fprintf(stderr, "mocc-lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "mocc-lint: %zu diagnostic(s)\n", diagnostics.size());
+  return 1;
+}

@@ -2,7 +2,8 @@
 # Static + dynamic analysis driver for the mocc tree.
 #
 # Usage: tools/run_analysis.sh [stage ...]
-#   stages: asan tsan werror tidy   (default: all of them, in that order)
+#   stages: lint asan tsan werror tidy  (default: all of them, in that
+#   order; "--lint" is accepted as an alias for "lint")
 #
 # Each stage configures its own build directory (build-<preset>) from
 # CMakePresets.json, builds everything with -Werror, and runs the full
@@ -51,6 +52,18 @@ stage_werror() {
     ctest --test-dir build-werror --output-on-failure -j "${JOBS}"
 }
 
+stage_lint() {
+  # Project lint (tools/mocc_lint, docs/static-analysis.md): determinism,
+  # wire-kind, guarded-by, and trace-registry invariants over src/ and
+  # bench/. The portable frontend builds with any toolchain; the clang
+  # AST frontend is additionally built when a Clang dev install exists.
+  note "mocc-lint (portable frontend + self-tests)"
+  cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOCC_BUILD_LINT=ON &&
+    cmake --build build-lint -j "${JOBS}" --target mocc-lint lint_test &&
+    ctest --test-dir build-lint --output-on-failure -j "${JOBS}" -R '^(SourceFile|Suppression|Determinism|GuardedBy|WireKind|TraceRegistry|Driver|RepoLint)' &&
+    ./build-lint/tools/mocc_lint/mocc-lint --root . --compdb build-lint/compile_commands.json
+}
+
 stage_tidy() {
   if ! command -v clang-tidy >/dev/null || ! command -v clang++ >/dev/null; then
     echo "clang-tidy/clang++ not found; skipping tidy stage"
@@ -62,15 +75,15 @@ stage_tidy() {
     cmake --build --preset tidy -j "${JOBS}"
 }
 
-STAGES=("$@")
+STAGES=("${@/#--/}")  # accept --lint etc. as flag-style spellings
 if [ "${#STAGES[@]}" -eq 0 ]; then
-  STAGES=(asan tsan werror tidy)
+  STAGES=(lint asan tsan werror tidy)
 fi
 
 for stage in "${STAGES[@]}"; do
   case "${stage}" in
-    asan|tsan|werror|tidy) ;;
-    *) echo "unknown stage '${stage}' (expected asan|tsan|werror|tidy)"; exit 2 ;;
+    lint|asan|tsan|werror|tidy) ;;
+    *) echo "unknown stage '${stage}' (expected lint|asan|tsan|werror|tidy)"; exit 2 ;;
   esac
   if "stage_${stage}"; then
     echo "stage ${stage}: OK"
