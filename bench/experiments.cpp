@@ -8,6 +8,7 @@
 #include "core/admissibility.hpp"
 #include "core/fast_check.hpp"
 #include "core/generate.hpp"
+#include "obs/analysis.hpp"
 #include "obs/json.hpp"
 #include "txn/generate.hpp"
 #include "txn/reduction.hpp"
@@ -36,6 +37,7 @@ RunResult run_experiment(const api::SystemConfig& config,
   }
   result.link = system.link_stats();
   result.link_failures = system.link_failures().size();
+  result.backlog = system.backlog();
   return result;
 }
 
@@ -85,6 +87,41 @@ void register_fault_metrics(obs::Registry& registry, const RunResult& result) {
       .set(static_cast<double>(result.link.retransmits) / data);
 }
 
+void register_span_metrics(obs::Registry& registry,
+                           const obs::RingBufferSink& sink,
+                           const RunResult& result) {
+  sink.export_metrics(registry);
+  registry.gauge("sim_event_queue_depth")
+      .set(static_cast<double>(result.backlog.queue_depth));
+  registry.gauge("link_retransmit_buffer_bytes")
+      .set(static_cast<double>(result.backlog.link_buffer_bytes));
+  auto& queue = registry.histogram("phase_queue", kLatencyLo, kLatencyHi, kLatencyBuckets);
+  auto& agree = registry.histogram("phase_agree", kLatencyLo, kLatencyHi, kLatencyBuckets);
+  auto& lock = registry.histogram("phase_lock", kLatencyLo, kLatencyHi, kLatencyBuckets);
+  auto& net = registry.histogram("phase_net", kLatencyLo, kLatencyHi, kLatencyBuckets);
+  obs::TraceFile trace;
+  trace.has_header = true;
+  trace.events_total = sink.total();
+  trace.events_dropped = sink.dropped();
+  trace.spans_total = sink.spans_total();
+  trace.spans_dropped = sink.spans_dropped();
+  MOCC_ASSERT_MSG(trace.events_dropped == 0 && trace.spans_dropped == 0,
+                  "span-enabled bench run overflowed its trace ring; raise "
+                  "kSpanRingCapacity");
+  trace.events = sink.events();
+  trace.spans = sink.spans();
+  obs::Forest forest;
+  std::string error;
+  const bool well_formed = obs::build_forest(trace, &forest, &error);
+  MOCC_ASSERT_MSG(well_formed, error.c_str());
+  for (const obs::MOpLatency& mop : obs::attribute_latency(forest)) {
+    queue.add(static_cast<double>(mop.phases.queue));
+    agree.add(static_cast<double>(mop.phases.agree));
+    lock.add(static_cast<double>(mop.phases.lock));
+    net.add(static_cast<double>(mop.phases.net));
+  }
+}
+
 bool experiment_selected(const SuiteOptions& options, std::string_view experiment) {
   if (options.only.empty()) return true;
   return std::find(options.only.begin(), options.only.end(), experiment) !=
@@ -114,11 +151,26 @@ std::map<std::string, std::string> sim_config_map(const api::SystemConfig& confi
 
 ExperimentRecord sim_record(std::string experiment, std::string name,
                             const api::SystemConfig& config,
-                            const protocols::WorkloadParams& params, bool run_audit) {
+                            const protocols::WorkloadParams& params, bool run_audit,
+                            bool spans = false) {
   ExperimentRecord record;
   record.experiment = std::move(experiment);
   record.name = std::move(name);
   record.config = sim_config_map(config, params);
+  if (spans) {
+    api::SystemConfig traced = config;
+    traced.backlog_sample_interval = kBacklogSampleInterval;
+    obs::RingBufferSink sink(kSpanRingCapacity);
+    const RunResult result = run_experiment(traced, params, run_audit, &sink);
+    register_run_metrics(record.metrics, result);
+    register_span_metrics(record.metrics, sink, result);
+    record.traffic = result.traffic;
+    if (result.audit_ran) {
+      record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
+                                     : ExperimentRecord::Audit::kFailed;
+    }
+    return record;
+  }
   const RunResult result = run_experiment(config, params, run_audit);
   register_run_metrics(record.metrics, result);
   record.traffic = result.traffic;
@@ -158,7 +210,7 @@ std::vector<ExperimentRecord> run_e1(const SuiteOptions& options) {
         params.footprint = 2;
         records.push_back(sim_record(
             "E1", "E1/query_latency/" + protocol + "/" + delay + "/n" + std::to_string(n),
-            config, params, /*run_audit=*/false));
+            config, params, /*run_audit=*/false, options.spans));
       }
     }
   }
@@ -187,7 +239,7 @@ std::vector<ExperimentRecord> run_e2(const SuiteOptions& options) {
         records.push_back(sim_record(
             "E2",
             "E2/update_latency/" + protocol + "/" + broadcast + "/n" + std::to_string(n),
-            config, params, /*run_audit=*/false));
+            config, params, /*run_audit=*/false, options.spans));
       }
     }
   }
@@ -594,9 +646,14 @@ std::vector<ExperimentRecord> run_e8(const SuiteOptions& options) {
       record.config["drop_pct"] = std::to_string(drop_pct);
       record.config["dup_pct"] = link_on ? "5" : "0";
       record.config["link"] = link_on ? "on" : "off";
-      const RunResult result = run_experiment(config, params, /*run_audit=*/true);
+      api::SystemConfig traced = config;
+      obs::RingBufferSink sink(kSpanRingCapacity);
+      if (options.spans) traced.backlog_sample_interval = kBacklogSampleInterval;
+      const RunResult result = run_experiment(
+          traced, params, /*run_audit=*/true, options.spans ? &sink : nullptr);
       register_run_metrics(record.metrics, result);
       register_fault_metrics(record.metrics, result);
+      if (options.spans) register_span_metrics(record.metrics, sink, result);
       record.traffic = result.traffic;
       if (result.audit_ran) {
         record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
@@ -686,14 +743,21 @@ void write_records_json(std::ostream& out,
   obs::JsonWriter json(out, /*pretty=*/true);
   json.begin_object();
   json.field("schema_version", kBenchSchemaVersion);
-  // Additive minor revision, emitted only when a record actually uses the
-  // minor-1 fields (E8's fault/link metrics): pre-fault artifacts — and
-  // their goldens — stay byte-identical.
+  // Additive minor revision: the highest one whose names actually appear
+  // in the record set (minor 2 = span phase series, minor 1 = E8's
+  // fault/link metrics). Artifacts using neither — and their goldens —
+  // stay byte-identical to minor 0.
+  const bool has_span_records =
+      std::any_of(records.begin(), records.end(), [](const ExperimentRecord& r) {
+        return r.metrics.histograms().contains("phase_queue");
+      });
   const bool has_fault_records =
       std::any_of(records.begin(), records.end(),
                   [](const ExperimentRecord& r) { return r.experiment == "E8"; });
-  if (has_fault_records) {
-    json.field("schema_minor", kBenchSchemaVersionMinor);
+  if (has_span_records) {
+    json.field("schema_minor", kBenchSchemaMinorSpans);
+  } else if (has_fault_records) {
+    json.field("schema_minor", kBenchSchemaMinorFaults);
   }
   json.field("suite", "mocc-bench");
   json.field("mode", options.smoke ? "smoke" : "full");
@@ -806,7 +870,7 @@ void write_demo_trace(std::ostream& out) {
   params.update_ratio = 0.5;
   params.footprint = 2;
   run_experiment(config, params, /*run_audit=*/false, &sink);
-  obs::write_jsonl(out, sink.events());
+  obs::write_trace_jsonl(out, sink);
 }
 
 }  // namespace mocc::bench

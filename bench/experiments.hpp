@@ -35,12 +35,16 @@ namespace mocc::bench {
 /// BENCH_results.json must check it (documented in docs/observability.md).
 inline constexpr int kBenchSchemaVersion = 1;
 
-/// Additive schema revision: headers gain a "schema_minor" field when —
-/// and only when — the record set contains an E8 (fault) record, whose
-/// fault/link metrics are the minor-1 addition. Artifacts without E8
-/// records serialize exactly as minor 0 did, so fixed-seed goldens from
-/// before the fault subsystem stay byte-identical.
-inline constexpr int kBenchSchemaVersionMinor = 1;
+/// Additive schema revisions: the header gains a "schema_minor" field
+/// carrying the HIGHEST revision whose metric names actually appear in
+/// the record set. Minor 1 is E8's fault/link metrics; minor 2 is the
+/// span phase-breakdown series (--spans). Artifacts using neither
+/// serialize exactly as minor 0 did, and E8 artifacts without span
+/// metrics still say 1, so every pre-existing fixed-seed golden stays
+/// byte-identical.
+inline constexpr int kBenchSchemaMinorFaults = 1;
+inline constexpr int kBenchSchemaMinorSpans = 2;
+inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorSpans;
 
 /// Latency histogram shape shared by every experiment: virtual-tick
 /// latencies land in [0, 4096) at 4-tick resolution, which covers every
@@ -49,6 +53,16 @@ inline constexpr int kBenchSchemaVersionMinor = 1;
 inline constexpr double kLatencyLo = 0.0;
 inline constexpr double kLatencyHi = 4096.0;
 inline constexpr std::size_t kLatencyBuckets = 1024;
+
+/// Ring capacity for span-enabled runs: comfortably above the busiest
+/// full-sweep point's event volume, so register_span_metrics can insist
+/// on a drop-free (non-truncated) trace.
+inline constexpr std::size_t kSpanRingCapacity = std::size_t{1} << 19;
+
+/// Virtual-time interval of the backlog probe attached to span-enabled
+/// runs (SystemConfig::backlog_sample_interval) — deterministic, so the
+/// sampled gauges are too.
+inline constexpr sim::SimTime kBacklogSampleInterval = 64;
 
 struct RunResult {
   protocols::WorkloadReport report;
@@ -62,6 +76,9 @@ struct RunResult {
   /// Aggregate reliable-link counters (all zero when the link is off).
   fault::LinkStats link;
   std::size_t link_failures = 0;  ///< retry-budget exhaustions
+  /// Last backlog-probe sample (all zero unless the config set
+  /// backlog_sample_interval).
+  api::System::BacklogSample backlog;
 };
 
 /// Builds a system, drives the closed-loop workload, and collects the
@@ -98,6 +115,18 @@ void register_run_metrics(obs::Registry& registry, const RunResult& result);
 /// pre-fault schema.
 void register_fault_metrics(obs::Registry& registry, const RunResult& result);
 
+/// Span-derived series for span-enabled records (schema minor 2):
+/// critical-path phase histograms `phase_queue` / `phase_agree` /
+/// `phase_lock` / `phase_net` (one sample per completed m-operation,
+/// summing exactly to its end-to-end virtual latency), the sink's
+/// `trace_events_*` / `trace_spans_*` drop accounting, and the backlog
+/// gauges `sim_event_queue_depth` / `link_retransmit_buffer_bytes`.
+/// `sink` must be the sink `result`'s run emitted into; aborts if the
+/// ring dropped anything (a truncated trace cannot be attributed).
+void register_span_metrics(obs::Registry& registry,
+                           const obs::RingBufferSink& sink,
+                           const RunResult& result);
+
 /// One row of BENCH_results.json: a named configuration point of one
 /// experiment plus everything measured there.
 struct ExperimentRecord {
@@ -117,6 +146,10 @@ struct SuiteOptions {
   bool smoke = false;
   /// Subset of {"E1",..,"E8"}; empty = all.
   std::vector<std::string> only;
+  /// Collect causal spans on the latency experiments (E1, E2, E8) and
+  /// register the phase-breakdown series (schema minor 2). Off by
+  /// default so existing artifacts keep their exact bytes.
+  bool spans = false;
 };
 
 /// True when `experiment` is selected by `options.only` (or it is empty).
@@ -150,7 +183,8 @@ void write_records_json(std::ostream& out,
 void print_records(std::ostream& out, const std::vector<ExperimentRecord>& records);
 
 /// Runs one small fixed-seed mlin workload with a ring-buffer sink
-/// attached and writes the captured events as JSONL (--trace demo).
+/// attached and writes the full captured trace — header line, events,
+/// spans — as JSONL (--trace demo; loadable by trace_query).
 void write_demo_trace(std::ostream& out);
 
 }  // namespace mocc::bench

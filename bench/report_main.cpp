@@ -6,7 +6,8 @@
 //   bench_report                      # full suite -> BENCH_results.json
 //   bench_report --smoke              # CI-sized sweeps
 //   bench_report --only=E1,E5 --print # subset + tables on stdout
-//   bench_report --trace=trace.jsonl  # also write a demo event trace
+//   bench_report --trace=trace.jsonl  # also write a demo span trace
+//   bench_report --spans              # phase-breakdown series (minor 2)
 //
 // Output is deterministic: rerunning with the same flags produces a
 // byte-identical file.
@@ -38,7 +39,9 @@ void print_usage(const char* program) {
             << "  --only=E1,E5     run a subset of the experiments\n"
             << "  --out=PATH       artifact path (default BENCH_results.json)\n"
             << "  --print          also render per-experiment tables to stdout\n"
-            << "  --trace=PATH     write a demo JSONL event trace\n";
+            << "  --trace=PATH     write a demo JSONL span trace\n"
+            << "  --spans          collect causal spans on E1/E2/E8 and add the\n"
+            << "                   phase-breakdown metrics (schema_minor 2)\n";
 }
 
 }  // namespace
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   mocc::bench::SuiteOptions options;
   options.smoke = args.get_bool("smoke", false);
   options.only = split_csv(args.get_string("only", ""));
+  options.spans = args.get_bool("spans", false);
   const std::string out_path = args.get_string("out", "BENCH_results.json");
   const bool print = args.get_bool("print", false);
   const std::string trace_path = args.get_string("trace", "");

@@ -17,7 +17,8 @@ void IsisAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload)
 
   // Own proposal.
   const Stamp own{++lamport_, ctx.self()};
-  pending_[{ctx.self(), msgid}] = Pending{std::move(payload), own, /*final=*/false};
+  pending_[{ctx.self(), msgid}] = Pending{std::move(payload), own, /*final=*/false,
+                                          ctx.trace_context(), ctx.now()};
   collecting_[msgid] = Collecting{own, 1};
 
   if (ctx.num_nodes() == 1) {
@@ -31,7 +32,8 @@ void IsisAbcast::handle_propose(sim::Context& ctx, sim::NodeId origin,
                                 std::vector<std::uint8_t> payload) {
   const Stamp proposal{++lamport_, ctx.self()};
   const MsgKey key{origin, msgid};
-  pending_[key] = Pending{std::move(payload), proposal, /*final=*/false};
+  pending_[key] = Pending{std::move(payload), proposal, /*final=*/false,
+                          ctx.trace_context(), ctx.now()};
 
   util::ByteWriter out;
   out.put_u64(msgid);
@@ -80,6 +82,10 @@ void IsisAbcast::finalize(sim::Context& ctx, const MsgKey& key, Stamp final_stam
 }
 
 void IsisAbcast::try_deliver(sim::Context& ctx) {
+  // Each delivery re-roots the trace context at its abcast_agree span;
+  // restore between iterations so queued deliveries keep their own
+  // contexts (see SequencerAbcast::accept).
+  const obs::SpanContext outer = ctx.trace_context();
   for (;;) {
     const std::pair<const MsgKey, Pending>* min_entry = nullptr;
     for (const auto& entry : pending_) {
@@ -90,6 +96,8 @@ void IsisAbcast::try_deliver(sim::Context& ctx) {
     if (min_entry == nullptr || !min_entry->second.final) return;
     MOCC_ASSERT_MSG(deliver_ != nullptr, "deliver callback not wired");
     const MsgKey key = min_entry->first;
+    const obs::SpanContext msg_trace = min_entry->second.trace;
+    const sim::SimTime seen_at = min_entry->second.seen_at;
     // Deliver before erasing; the callback may trigger nested broadcasts,
     // which never touch this (final) entry.
     const std::vector<std::uint8_t> payload = std::move(pending_.at(key).payload);
@@ -98,8 +106,24 @@ void IsisAbcast::try_deliver(sim::Context& ctx) {
     if (auto* sink = ctx.trace_sink()) {
       sink->on_event({obs::TraceEventType::kAbcastSequence, ctx.now(), ctx.self(),
                       key.first, 0, seq_pos, payload.size()});
+      if (msg_trace.valid()) {
+        obs::Span agree;
+        agree.type = obs::SpanType::kAbcastAgree;
+        agree.trace_id = msg_trace.trace_id;
+        agree.span_id = ctx.new_span_id();
+        agree.parent_span = msg_trace.span_id;
+        agree.begin = seen_at;
+        agree.end = ctx.now();
+        agree.node = ctx.self();
+        agree.peer = key.first;
+        agree.id = seq_pos;
+        agree.arg = payload.size();
+        sink->on_span(agree);
+        ctx.set_trace_context(obs::SpanContext{agree.trace_id, agree.span_id});
+      }
     }
     deliver_(ctx, key.first, payload);
+    ctx.set_trace_context(outer);
     continue;
   }
 }

@@ -49,6 +49,8 @@ class IsisAbcast final : public AtomicBroadcast {
     std::vector<std::uint8_t> payload;
     Stamp stamp;        // proposed (lower bound) until final
     bool final = false;
+    obs::SpanContext trace;     ///< context when first seen at this node
+    sim::SimTime seen_at = 0;  ///< abcast_agree span begin
   };
 
   /// Origin-side bookkeeping while collecting proposals.

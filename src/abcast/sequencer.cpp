@@ -33,22 +33,45 @@ void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin
 
 void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId origin,
                              std::vector<std::uint8_t> payload) {
-  pending_[seq] = {origin, std::move(payload)};
+  pending_[seq] =
+      PendingDelivery{origin, std::move(payload), ctx.trace_context(), ctx.now()};
+  // Each delivery re-roots the trace context at its abcast_agree span
+  // (first sighting here -> agreed-position delivery); restore between
+  // iterations so gap-fill deliveries keep their own contexts.
+  const obs::SpanContext outer = ctx.trace_context();
   while (true) {
     const auto it = pending_.find(next_seq_to_deliver_);
     if (it == pending_.end()) break;
     MOCC_ASSERT_MSG(deliver_ != nullptr, "deliver callback not wired");
     // Copy out before erasing: the callback may broadcast, mutating
     // pending_ through nested sequencing on this node.
-    const sim::NodeId msg_origin = it->second.first;
-    const std::vector<std::uint8_t> msg_payload = std::move(it->second.second);
+    const sim::NodeId msg_origin = it->second.origin;
+    const std::vector<std::uint8_t> msg_payload = std::move(it->second.payload);
+    const obs::SpanContext msg_trace = it->second.trace;
+    const sim::SimTime seen_at = it->second.seen_at;
     pending_.erase(it);
     const std::uint64_t seq_pos = next_seq_to_deliver_++;
     if (auto* sink = ctx.trace_sink()) {
       sink->on_event({obs::TraceEventType::kAbcastSequence, ctx.now(), ctx.self(),
                       msg_origin, 0, seq_pos, msg_payload.size()});
+      if (msg_trace.valid()) {
+        obs::Span agree;
+        agree.type = obs::SpanType::kAbcastAgree;
+        agree.trace_id = msg_trace.trace_id;
+        agree.span_id = ctx.new_span_id();
+        agree.parent_span = msg_trace.span_id;
+        agree.begin = seen_at;
+        agree.end = ctx.now();
+        agree.node = ctx.self();
+        agree.peer = msg_origin;
+        agree.id = seq_pos;
+        agree.arg = msg_payload.size();
+        sink->on_span(agree);
+        ctx.set_trace_context(obs::SpanContext{agree.trace_id, agree.span_id});
+      }
     }
     deliver_(ctx, msg_origin, msg_payload);
+    ctx.set_trace_context(outer);
   }
 }
 

@@ -34,9 +34,16 @@ class SequencerAbcast final : public AtomicBroadcast {
   void accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId origin,
               std::vector<std::uint8_t> payload);
 
+  struct PendingDelivery {
+    sim::NodeId origin = 0;
+    std::vector<std::uint8_t> payload;
+    obs::SpanContext trace;     ///< context when first seen at this node
+    sim::SimTime seen_at = 0;  ///< abcast_agree span begin
+  };
+
   std::uint64_t next_seq_to_assign_ = 0;   // sequencer only
   std::uint64_t next_seq_to_deliver_ = 0;  // every node
-  std::map<std::uint64_t, std::pair<sim::NodeId, std::vector<std::uint8_t>>> pending_;
+  std::map<std::uint64_t, PendingDelivery> pending_;
 };
 
 }  // namespace mocc::abcast

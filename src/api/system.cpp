@@ -82,6 +82,30 @@ System::System(const SystemConfig& config) : config_(config) {
 
   queues_.resize(config.num_processes);
   for (auto& queue : queues_) queue = std::make_shared<SubmitQueue>();
+
+  if (config.backlog_sample_interval != 0) {
+    sim_->set_backlog_probe(config.backlog_sample_interval, [this](sim::SimTime at) {
+      backlog_.time = at;
+      backlog_.queue_depth = sim_->queue_depth();
+      std::uint64_t link_bytes = 0;
+      for (const protocols::Replica* replica : replicas_) {
+        if (const fault::ReliableLink* link = replica->reliable_link()) {
+          link_bytes += link->buffer_bytes();
+        }
+      }
+      backlog_.link_buffer_bytes = link_bytes;
+      if (metrics_ != nullptr) {
+        metrics_->gauge("sim_event_queue_depth")
+            .set(static_cast<double>(backlog_.queue_depth));
+        metrics_->gauge("link_retransmit_buffer_bytes")
+            .set(static_cast<double>(link_bytes));
+      }
+      if (auto* sink = sim_->trace_sink()) {
+        sink->on_event({obs::TraceEventType::kBacklogSample, at, 0, 0, 0,
+                        backlog_.queue_depth, link_bytes});
+      }
+    });
+  }
 }
 
 System::~System() = default;

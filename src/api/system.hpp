@@ -33,6 +33,7 @@
 #include "core/history.hpp"
 #include "fault/fault.hpp"
 #include "fault/reliable_link.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/recorder.hpp"
 #include "protocols/replica.hpp"
 #include "protocols/workload.hpp"
@@ -60,6 +61,13 @@ struct SystemConfig {
   /// reliable link. Off by default: the paper assumes reliable channels.
   bool reliable_link = false;
   fault::ReliableLink::Options link;
+  /// Deterministic backlog sampling: once per crossed multiple of this
+  /// virtual-time interval, the system samples the simulator's event
+  /// queue depth and the total reliable-link retransmit-buffer bytes —
+  /// into the sim_event_queue_depth / link_retransmit_buffer_bytes
+  /// gauges (set_metrics_registry) and a backlog_sample trace event.
+  /// 0 (the default) disables sampling.
+  sim::SimTime backlog_sample_interval = 0;
 };
 
 class System {
@@ -122,6 +130,19 @@ class System {
   /// instrumentation costs one pointer test per event site.
   void set_trace_sink(obs::TraceSink* sink);
 
+  /// The most recent backlog sample (all zero until the first probe
+  /// fires; see SystemConfig::backlog_sample_interval).
+  struct BacklogSample {
+    sim::SimTime time = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t link_buffer_bytes = 0;
+  };
+  const BacklogSample& backlog() const { return backlog_; }
+
+  /// Metrics registry the backlog probe writes its gauges into (not
+  /// owned; null — the default — skips gauge updates).
+  void set_metrics_registry(obs::Registry* registry) { metrics_ = registry; }
+
  private:
   SystemConfig config_;
   std::unique_ptr<protocols::ExecutionRecorder> recorder_;
@@ -133,6 +154,8 @@ class System {
   std::vector<sim::SimTime> process_free_hint_;
   struct SubmitQueue;
   std::vector<std::shared_ptr<SubmitQueue>> queues_;
+  BacklogSample backlog_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace mocc::api

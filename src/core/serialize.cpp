@@ -129,6 +129,7 @@ std::optional<History> parse_history(const std::string& text, std::string* error
       continue;
     }
 
+    // mocc-lint: allow(trace-registry): mscript's record keyword happens to match the root span's name; this parses the text format, it emits no span
     if (keyword == "mop") {
       if (!history.has_value()) return fail("'mop' before 'history' header");
       unsigned long process = 0;

@@ -47,10 +47,13 @@ void ReliableLink::send(sim::Context& ctx, sim::NodeId to, std::uint32_t kind,
   pending.frame = encode_data(seq, kind, payload);
   pending.rto = options_.initial_rto;
   pending.attempts = 1;
+  pending.trace = ctx.trace_context();
+  pending.last_sent = ctx.now();
 
   ctx.send(to, kLinkData, pending.frame);
   ctx.set_timer(pending.rto, kLinkTimerTag | token);
   token_by_dest_[{to, seq}] = token;
+  buffer_bytes_ += pending.frame.size();
   pending_.emplace(token, std::move(pending));
   bump(&LinkStats::data_sent);
 }
@@ -62,7 +65,11 @@ bool ReliableLink::on_message(sim::Context& ctx, const sim::Message& message) {
     const auto key = std::make_pair(message.from, seq);
     auto token_it = token_by_dest_.find(key);
     if (token_it != token_by_dest_.end()) {
-      pending_.erase(token_it->second);
+      const auto pending_it = pending_.find(token_it->second);
+      if (pending_it != pending_.end()) {
+        buffer_bytes_ -= pending_it->second.frame.size();
+        pending_.erase(pending_it);
+      }
       token_by_dest_.erase(token_it);
     }
     // Acks for already-settled seqs (duplicated ack, or ack after
@@ -125,6 +132,7 @@ bool ReliableLink::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
     }
     failed_.push_back({pending.to, pending.seq, pending.kind, pending.attempts});
     token_by_dest_.erase({pending.to, pending.seq});
+    buffer_bytes_ -= pending.frame.size();
     pending_.erase(it);
     return true;
   }
@@ -134,7 +142,28 @@ bool ReliableLink::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
   if (auto* sink = ctx.trace_sink()) {
     sink->on_event({obs::TraceEventType::kLinkRetransmit, ctx.now(), ctx.self(),
                     pending.to, pending.kind, pending.seq, pending.attempts});
+    if (pending.trace.valid()) {
+      // One retransmit span per resend, chained: each parents at the
+      // previous transmission's context, and the resent frame rides the
+      // new span so its net_hop lands underneath it.
+      obs::Span rt;
+      rt.type = obs::SpanType::kRetransmit;
+      rt.trace_id = pending.trace.trace_id;
+      rt.span_id = ctx.new_span_id();
+      rt.parent_span = pending.trace.span_id;
+      rt.begin = pending.last_sent;
+      rt.end = ctx.now();
+      rt.node = ctx.self();
+      rt.peer = pending.to;
+      rt.kind = pending.kind;
+      rt.id = pending.seq;
+      rt.arg = pending.attempts;
+      sink->on_span(rt);
+      pending.trace.span_id = rt.span_id;
+    }
   }
+  pending.last_sent = ctx.now();
+  ctx.set_trace_context(pending.trace);
   ctx.send(pending.to, kLinkData, pending.frame);
   const double next_rto = static_cast<double>(pending.rto) * options_.backoff;
   pending.rto = next_rto >= static_cast<double>(options_.max_rto)

@@ -110,6 +110,9 @@ class ReliableLink {
 
   /// Sends still awaiting an ack (retry budget not yet exhausted).
   std::size_t in_flight() const { return pending_.size(); }
+  /// Bytes of encoded frames held for possible retransmission (running
+  /// counter over pending_; feeds the link_retransmit_buffer_bytes gauge).
+  std::uint64_t buffer_bytes() const { return buffer_bytes_; }
   const std::vector<FailedSend>& failed() const { return failed_; }
   const LinkStats& stats() const { return stats_; }
   const Options& options() const { return options_; }
@@ -127,6 +130,8 @@ class ReliableLink {
     std::vector<std::uint8_t> frame;   ///< encoded kLinkData, resent as-is
     sim::SimTime rto = 0;              ///< next backoff interval
     std::uint32_t attempts = 0;        ///< transmissions so far
+    obs::SpanContext trace;            ///< re-rooted at each retransmit span
+    sim::SimTime last_sent = 0;        ///< retransmit span begin
   };
   /// Receiver-side dedup per sender: `floor` is the highest seq below
   /// which everything has been seen; `above` holds out-of-order seqs
@@ -148,6 +153,7 @@ class ReliableLink {
   std::vector<FailedSend> failed_;
   LinkStats stats_;
   LinkStats* shared_ = nullptr;
+  std::uint64_t buffer_bytes_ = 0;  ///< sum of pending_ frame sizes
 };
 
 }  // namespace mocc::fault

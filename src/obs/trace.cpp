@@ -22,8 +22,23 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kLinkRetransmit: return "link_retransmit";
     case TraceEventType::kLinkDuplicate: return "link_duplicate";
     case TraceEventType::kLinkExhausted: return "link_exhausted";
+    case TraceEventType::kOpRead: return "op_read";
+    case TraceEventType::kOpWrite: return "op_write";
+    case TraceEventType::kBacklogSample: return "backlog_sample";
   }
   MOCC_ASSERT_MSG(false, "unknown trace event type");
+  return "unknown";
+}
+
+std::string_view to_string(SpanType type) {
+  switch (type) {
+    case SpanType::kMOp: return "mop";
+    case SpanType::kAbcastAgree: return "abcast_agree";
+    case SpanType::kLockWait: return "lock_wait";
+    case SpanType::kNetHop: return "net_hop";
+    case SpanType::kRetransmit: return "retransmit";
+  }
+  MOCC_ASSERT_MSG(false, "unknown span type");
   return "unknown";
 }
 
@@ -42,6 +57,17 @@ void RingBufferSink::on_event(const TraceEvent& event) {
   next_ = (next_ + 1) % capacity_;
 }
 
+void RingBufferSink::on_span(const Span& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++span_total_;
+  if (span_ring_.size() < capacity_) {
+    span_ring_.push_back(span);
+    return;
+  }
+  span_ring_[span_next_] = span;
+  span_next_ = (span_next_ + 1) % capacity_;
+}
+
 std::vector<TraceEvent> RingBufferSink::events() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
@@ -49,6 +75,16 @@ std::vector<TraceEvent> RingBufferSink::events() const {
   // next_ is the oldest slot once the ring has wrapped.
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> RingBufferSink::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(span_ring_.size());
+  for (std::size_t i = 0; i < span_ring_.size(); ++i) {
+    out.push_back(span_ring_[(span_next_ + i) % span_ring_.size()]);
   }
   return out;
 }
@@ -63,10 +99,22 @@ std::uint64_t RingBufferSink::dropped() const {
   return total_ - ring_.size();
 }
 
+std::uint64_t RingBufferSink::spans_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return span_total_;
+}
+
+std::uint64_t RingBufferSink::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return span_total_ - span_ring_.size();
+}
+
 void RingBufferSink::export_metrics(Registry& registry) const {
   std::lock_guard<std::mutex> lock(mu_);
   registry.counter("trace_events_total").set(total_);
   registry.counter("trace_events_dropped").set(total_ - ring_.size());
+  registry.counter("trace_spans_total").set(span_total_);
+  registry.counter("trace_spans_dropped").set(span_total_ - span_ring_.size());
 }
 
 void RingBufferSink::clear() {
@@ -74,6 +122,9 @@ void RingBufferSink::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  span_ring_.clear();
+  span_next_ = 0;
+  span_total_ = 0;
 }
 
 void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events) {
@@ -90,6 +141,43 @@ void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events) {
     json.end_object();
     out << '\n';
   }
+}
+
+void write_jsonl(std::ostream& out, const std::vector<Span>& spans) {
+  for (const Span& span : spans) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("type", std::string_view("span"));
+    json.field("span", to_string(span.type));
+    json.field("trace", span.trace_id);
+    json.field("sid", span.span_id);
+    json.field("parent", span.parent_span);
+    json.field("begin", span.begin);
+    json.field("end", span.end);
+    json.field("node", span.node);
+    json.field("peer", span.peer);
+    json.field("kind", span.kind);
+    json.field("id", span.id);
+    json.field("arg", span.arg);
+    json.end_object();
+    out << '\n';
+  }
+}
+
+void write_trace_jsonl(std::ostream& out, const RingBufferSink& sink) {
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("type", std::string_view("header"));
+    json.field("events_total", sink.total());
+    json.field("events_dropped", sink.dropped());
+    json.field("spans_total", sink.spans_total());
+    json.field("spans_dropped", sink.spans_dropped());
+    json.end_object();
+    out << '\n';
+  }
+  write_jsonl(out, sink.events());
+  write_jsonl(out, sink.spans());
 }
 
 }  // namespace mocc::obs

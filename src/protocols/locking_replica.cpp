@@ -73,6 +73,7 @@ void LockingReplica::invoke(sim::Context& ctx, mscript::Program program,
   op.program = std::move(program);
   op.on_response = std::move(on_response);
   op.invoke = invoke_time;
+  op.trace = ctx.begin_trace();
 
   if (options_.aggregate) {
     op.locks = {aggregate_lock()};
@@ -281,6 +282,8 @@ void LockingReplica::on_commit_ack(sim::Context& ctx, std::uint64_t token) {
   PendingOp done = std::move(op);
   pending_.erase(it);
   const core::Time response_time = ctx.now();
+  trace_mop_span(ctx, done.trace, done.id, done.invoke, done.program.is_update(),
+                 std::nullopt, done.ops);
   // No version-vector timestamps: the locking baseline is not a §5
   // protocol; its histories are checked with the generic checkers.
   recorder_.complete(done.id, std::move(done.ops), response_time,
@@ -297,11 +300,17 @@ void LockingReplica::handle_lock_req(sim::Context& ctx, sim::NodeId from,
                                      bool exclusive) {
   MOCC_ASSERT(home_of_lock(lock) == ctx.self());
   LockState& state = home_locks_[lock];
-  state.queue.push_back(LockState::Waiter{from, token, exclusive});
+  state.queue.push_back(
+      LockState::Waiter{from, token, exclusive, ctx.trace_context(), ctx.now()});
   pump_lock_queue(ctx, lock);
 }
 
 void LockingReplica::pump_lock_queue(sim::Context& ctx, LockId lock) {
+  // Each grant re-roots the trace context at the waiter's lock_wait span
+  // so the grant (and everything it causes) is attributed to the wait;
+  // restore afterwards so unrelated work in the same dispatch keeps its
+  // own context.
+  const obs::SpanContext outer = ctx.trace_context();
   LockState& state = home_locks_[lock];
   while (!state.queue.empty()) {
     const LockState::Waiter head = state.queue.front();
@@ -318,8 +327,25 @@ void LockingReplica::pump_lock_queue(sim::Context& ctx, LockId lock) {
     if (auto* sink = ctx.trace_sink()) {
       sink->on_event({obs::TraceEventType::kLockAcquire, ctx.now(), ctx.self(),
                       head.client, lock, head.token, head.exclusive ? 1u : 0u});
+      if (head.trace.valid()) {
+        obs::Span wait;
+        wait.type = obs::SpanType::kLockWait;
+        wait.trace_id = head.trace.trace_id;
+        wait.span_id = ctx.new_span_id();
+        wait.parent_span = head.trace.span_id;
+        wait.begin = head.enqueued;
+        wait.end = ctx.now();
+        wait.node = ctx.self();
+        wait.peer = head.client;
+        wait.kind = lock;
+        wait.id = head.token;
+        wait.arg = head.exclusive ? 1u : 0u;
+        sink->on_span(wait);
+        ctx.set_trace_context(obs::SpanContext{wait.trace_id, wait.span_id});
+      }
     }
     grant(ctx, head.client, head.token, lock);
+    ctx.set_trace_context(outer);
   }
 }
 

@@ -73,6 +73,8 @@ class LockingReplica final : public Replica {
       sim::NodeId client;
       std::uint64_t token;
       bool exclusive;
+      obs::SpanContext trace;      ///< context that carried the request
+      sim::SimTime enqueued = 0;  ///< lock_wait span begin
     };
     std::vector<Waiter> queue;  // strict FIFO, no barging
   };
@@ -95,6 +97,7 @@ class LockingReplica final : public Replica {
     mscript::Program program;
     ResponseFn on_response;
     core::Time invoke = 0;
+    obs::SpanContext trace;  ///< root span of the m-operation's trace
     Phase phase = Phase::kAcquiring;
     // Locks in ascending order; mode per lock.
     std::vector<LockId> locks;

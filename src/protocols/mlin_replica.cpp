@@ -34,13 +34,14 @@ void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
   const core::Time invoke_time = ctx.now();
   const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
   trace_mop(ctx, obs::TraceEventType::kMOpInvoke, id, program.is_update() ? 1 : 0);
+  const obs::SpanContext root = ctx.begin_trace();
 
   if (program.is_update()) {
     // (A1): identical to Figure 4.
     util::ByteWriter out;
     out.put_u32(id);
     program.encode(out);
-    pending_updates_[id] = PendingUpdate{std::move(on_response), invoke_time};
+    pending_updates_[id] = PendingUpdate{std::move(on_response), invoke_time, root};
     abcast_->broadcast(ctx, out.take());
     return;
   }
@@ -52,6 +53,7 @@ void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
   query.program = program;
   query.on_response = std::move(on_response);
   query.invoke = invoke_time;
+  query.trace = root;
   query.oth_x = my_x_;
   query.othts = myts_;
   query.oth_writer = last_writer_;
@@ -94,7 +96,9 @@ void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
     const PendingUpdate pending = std::move(it->second);
     pending_updates_.erase(it);
     const core::Time response_time = ctx.now();
-    recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    std::vector<core::Operation> ops = store.take_ops();
+    trace_mop_span(ctx, pending.trace, id, pending.invoke, true, ww_seq, ops);
+    recorder_.complete(id, std::move(ops), response_time, myts_, ww_seq);
     trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, pending.invoke);
     pending.on_response(
         InvocationOutcome{id, exec.return_value, pending.invoke, response_time});
@@ -188,7 +192,9 @@ void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
   MOCC_ASSERT_MSG(exec.objects_written().empty(), "query program performed a write");
 
   const core::Time response_time = ctx.now();
-  recorder_.complete(query.id, store.take_ops(), response_time, query.othts,
+  std::vector<core::Operation> ops = store.take_ops();
+  trace_mop_span(ctx, query.trace, query.id, query.invoke, false, std::nullopt, ops);
+  recorder_.complete(query.id, std::move(ops), response_time, query.othts,
                      std::nullopt);
   trace_mop(ctx, obs::TraceEventType::kMOpRespond, query.id, query.invoke);
   query.on_response(

@@ -80,6 +80,7 @@ class MLinReplica final : public Replica {
   struct PendingUpdate {
     ResponseFn on_response;
     core::Time invoke = 0;
+    obs::SpanContext trace;  ///< root span of the m-operation's trace
   };
   std::map<core::MOpId, PendingUpdate> pending_updates_;
 
@@ -88,6 +89,7 @@ class MLinReplica final : public Replica {
     mscript::Program program;
     ResponseFn on_response;
     core::Time invoke = 0;
+    obs::SpanContext trace;  ///< root span of the m-operation's trace
     std::size_t replies = 0;
     // othX / othts / oth last-writer: the freshest copy seen so far,
     // seeded from the local replica.

@@ -49,6 +49,7 @@ void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
   const core::Time invoke_time = ctx.now();
   const core::MOpId id = recorder_.begin(ctx.self(), program.name(), invoke_time);
   trace_mop(ctx, obs::TraceEventType::kMOpInvoke, id, program.is_update() ? 1 : 0);
+  const obs::SpanContext root = ctx.begin_trace();
 
   if (program.is_update() || options_.broadcast_queries) {
     // (A1): atomically broadcast the m-operation. In broadcast-queries
@@ -57,7 +58,7 @@ void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
     util::ByteWriter out;
     out.put_u32(id);
     program.encode(out);
-    pending_[id] = PendingUpdate{std::move(on_response), invoke_time};
+    pending_[id] = PendingUpdate{std::move(on_response), invoke_time, root};
     abcast_->broadcast(ctx, out.take());
     return;
   }
@@ -67,7 +68,9 @@ void MSeqReplica::invoke(sim::Context& ctx, mscript::Program program,
   const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
   MOCC_ASSERT_MSG(exec.objects_written().empty(), "query program performed a write");
   const core::Time response_time = ctx.now();
-  recorder_.complete(id, store.take_ops(), response_time, myts_, std::nullopt);
+  std::vector<core::Operation> ops = store.take_ops();
+  trace_mop_span(ctx, root, id, invoke_time, false, std::nullopt, ops);
+  recorder_.complete(id, std::move(ops), response_time, myts_, std::nullopt);
   trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, invoke_time);
   on_response(InvocationOutcome{id, exec.return_value, invoke_time, response_time});
 }
@@ -99,7 +102,10 @@ void MSeqReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
     const PendingUpdate pending = std::move(it->second);
     pending_.erase(it);
     const core::Time response_time = ctx.now();
-    recorder_.complete(id, store.take_ops(), response_time, myts_, ww_seq);
+    std::vector<core::Operation> ops = store.take_ops();
+    trace_mop_span(ctx, pending.trace, id, pending.invoke, program.is_update(), ww_seq,
+                   ops);
+    recorder_.complete(id, std::move(ops), response_time, myts_, ww_seq);
     trace_mop(ctx, obs::TraceEventType::kMOpRespond, id, pending.invoke);
     pending.on_response(
         InvocationOutcome{id, exec.return_value, pending.invoke, response_time});

@@ -76,6 +76,7 @@ class MSeqReplica final : public Replica {
   struct PendingUpdate {
     ResponseFn on_response;
     core::Time invoke = 0;
+    obs::SpanContext trace;  ///< root span of the m-operation's trace
   };
   std::map<core::MOpId, PendingUpdate> pending_;
 };

@@ -8,7 +8,10 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
+#include "core/moperation.hpp"
 #include "core/types.hpp"
 #include "fault/reliable_link.hpp"
 #include "mscript/vm.hpp"
@@ -41,6 +44,47 @@ inline void trace_mop(sim::Context& ctx, obs::TraceEventType type, core::MOpId i
   if (auto* sink = ctx.trace_sink()) {
     sink->on_event({type, ctx.now(), ctx.self(), 0, 0, id, arg});
   }
+}
+
+/// Closes the causal trace of one m-operation at its response point:
+/// emits one op_read / op_write event per operation in program order (the
+/// audit trail trace_query rebuilds the history from — reads carry their
+/// reads-from writer in `peer`), then the root `mop` span covering
+/// [invoke, respond]. `root` is what Context::begin_trace returned at the
+/// invocation; invalid (tracing off) makes this a no-op. The span's arg
+/// packs `is_update` in bit 0 and `ww_seq + 1` in the remaining bits
+/// (0 = no ww position), which is enough for the analyzer to rebuild the
+/// ~ww synchronization order.
+inline void trace_mop_span(sim::Context& ctx, obs::SpanContext root, core::MOpId id,
+                           core::Time invoke, bool is_update,
+                           std::optional<std::uint64_t> ww_seq,
+                           const std::vector<core::Operation>& ops) {
+  auto* sink = ctx.trace_sink();
+  if (sink == nullptr || !root.valid()) return;
+  for (const core::Operation& op : ops) {
+    obs::TraceEvent event;
+    event.type = op.type == core::OpType::kRead ? obs::TraceEventType::kOpRead
+                                                : obs::TraceEventType::kOpWrite;
+    event.time = ctx.now();
+    event.node = ctx.self();
+    event.peer = op.type == core::OpType::kRead ? op.reads_from : 0;
+    event.kind = op.object;
+    event.id = id;
+    event.arg = static_cast<std::uint64_t>(op.value);
+    sink->on_event(event);
+  }
+  obs::Span span;
+  span.type = obs::SpanType::kMOp;
+  span.trace_id = root.trace_id;
+  span.span_id = root.span_id;
+  span.parent_span = 0;
+  span.begin = invoke;
+  span.end = ctx.now();
+  span.node = ctx.self();
+  span.id = id;
+  span.arg = (is_update ? 1u : 0u) |
+             ((ww_seq.has_value() ? *ww_seq + 1 : 0) << 1);
+  sink->on_span(span);
 }
 
 class Replica : public sim::Actor {

@@ -11,6 +11,16 @@ SimTime Context::now() const { return sim_.now(); }
 
 obs::TraceSink* Context::trace_sink() const { return sim_.trace_sink(); }
 
+obs::SpanContext Context::trace_context() const { return sim_.trace_context(); }
+
+void Context::set_trace_context(obs::SpanContext trace) {
+  sim_.set_trace_context(trace);
+}
+
+obs::SpanContext Context::begin_trace() { return sim_.begin_trace(); }
+
+std::uint64_t Context::new_span_id() { return sim_.new_span_id(); }
+
 std::size_t Context::num_nodes() const { return sim_.num_nodes(); }
 
 void Context::send(NodeId to, std::uint32_t kind, std::vector<std::uint8_t> payload) {
@@ -66,6 +76,24 @@ void Simulator::drain_posted() {
     batch.swap(posted_);
   }
   for (auto& fn : batch) schedule_call(now_, std::move(fn));
+}
+
+obs::SpanContext Simulator::begin_trace() {
+  // No sink, no trace: keeps the disabled-tracing path free of id churn
+  // and every downstream emission site inert (invalid contexts propagate
+  // as invalid).
+  if (trace_ == nullptr) return {};
+  current_trace_ = obs::SpanContext{next_trace_id_++, next_span_id_++};
+  return current_trace_;
+}
+
+void Simulator::set_backlog_probe(SimTime interval,
+                                  std::function<void(SimTime)> probe) {
+  MOCC_ASSERT_MSG(interval == 0 || probe != nullptr,
+                  "a nonzero sampling interval needs a probe");
+  backlog_interval_ = interval;
+  next_backlog_ = interval;  // skip t=0: nothing has happened yet
+  backlog_probe_ = std::move(probe);
 }
 
 void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
@@ -124,7 +152,8 @@ void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
     event.seq = next_seq_++;
     event.message = Message{from, to, kind,
                             copy + 1 == copies ? std::move(payload)
-                                               : std::vector<std::uint8_t>(payload)};
+                                               : std::vector<std::uint8_t>(payload),
+                            current_trace_, now_};
     queue_.push(std::move(event));
   }
 }
@@ -136,11 +165,15 @@ void Simulator::set_timer(NodeId node, SimTime delay, std::uint64_t timer_id) {
   event.is_timer = true;
   event.timer_node = node;
   event.timer_id = timer_id;
+  event.timer_trace = current_trace_;
   queue_.push(std::move(event));
 }
 
 void Simulator::dispatch(const Event& event) {
   if (event.call) {
+    // External injections start context-free; a trace begins only at an
+    // m-operation invocation (Context::begin_trace).
+    current_trace_ = obs::SpanContext{};
     event.call();
     return;
   }
@@ -154,6 +187,7 @@ void Simulator::dispatch(const Event& event) {
       }
       return;
     }
+    current_trace_ = event.timer_trace;
     Context ctx(*this, event.timer_node);
     actors_[event.timer_node]->on_timer(ctx, event.timer_id);
     return;
@@ -174,6 +208,25 @@ void Simulator::dispatch(const Event& event) {
                       event.message.from, event.message.kind, 0,
                       event.message.payload.size()});
   }
+  // One net_hop span per traced delivery, then re-root the context at it:
+  // whatever this delivery causes is a child of the hop that carried it.
+  obs::SpanContext incoming = event.message.trace;
+  if (trace_ != nullptr && incoming.valid()) {
+    obs::Span hop;
+    hop.type = obs::SpanType::kNetHop;
+    hop.trace_id = incoming.trace_id;
+    hop.span_id = next_span_id_++;
+    hop.parent_span = incoming.span_id;
+    hop.begin = event.message.sent_at;
+    hop.end = now_;
+    hop.node = event.message.to;
+    hop.peer = event.message.from;
+    hop.kind = event.message.kind;
+    hop.arg = event.message.payload.size();
+    trace_->on_span(hop);
+    incoming.span_id = hop.span_id;
+  }
+  current_trace_ = incoming;
   Context ctx(*this, event.message.to);
   actors_[event.message.to]->on_message(ctx, event.message);
 }
@@ -194,6 +247,15 @@ SimTime Simulator::run(SimTime max_time) {
     if (max_time != 0 && queue_.top().time > max_time) {
       now_ = max_time;
       return now_;
+    }
+    // Backlog sampling: fire once per interval multiple the next event is
+    // about to cross. Piggybacking on the event loop (instead of a
+    // self-rescheduling timer) keeps quiescence detection intact.
+    if (backlog_interval_ != 0) {
+      while (next_backlog_ <= queue_.top().time) {
+        backlog_probe_(next_backlog_);
+        next_backlog_ += backlog_interval_;
+      }
     }
     Event event = queue_.top();
     queue_.pop();

@@ -22,14 +22,11 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/delay.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
-
-namespace mocc::obs {
-class TraceSink;
-}
 
 namespace mocc::sim {
 
@@ -73,6 +70,13 @@ struct Message {
   /// Protocol-defined discriminator (also keys the traffic statistics).
   std::uint32_t kind = 0;
   std::vector<std::uint8_t> payload;
+  /// Causal trace context, stamped by Simulator::send from the current
+  /// context. Rides in memory only — it is never serialized, so wire
+  /// payloads, traffic accounting, and every golden stay byte-identical
+  /// whether or not tracing is attached.
+  obs::SpanContext trace;
+  /// Virtual send time, stamped by Simulator::send (net_hop span begin).
+  SimTime sent_at = 0;
 };
 
 class Simulator;
@@ -98,6 +102,20 @@ class Context {
   /// costs nothing when tracing is off:
   ///   if (auto* sink = ctx.trace_sink()) sink->on_event({...});
   obs::TraceSink* trace_sink() const;
+
+  /// Causal-trace context (Dapper-style). The simulator tracks one
+  /// "current" context per dispatched event: sends stamp it into the
+  /// outgoing message, timers capture it at set_timer and restore it when
+  /// they fire, and message delivery re-roots it at the net_hop span it
+  /// emits. All invalid (trace id 0) when no sink is attached.
+  obs::SpanContext trace_context() const;
+  void set_trace_context(obs::SpanContext trace);
+  /// Starts a fresh trace: allocates a trace id and a root span id, makes
+  /// it the current context, and returns it. Invalid when no sink is
+  /// attached, so downstream emission sites stay inert.
+  obs::SpanContext begin_trace();
+  /// A span id unique within this simulator (for child spans).
+  std::uint64_t new_span_id();
 
  private:
   Simulator& sim_;
@@ -166,6 +184,25 @@ class Simulator {
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
   FaultInjector* fault_injector() const { return faults_; }
 
+  /// Installs a deterministic backlog probe: whenever virtual time is
+  /// about to cross a multiple of `interval`, `probe(sample_time)` runs
+  /// once per crossed multiple, before the crossing event dispatches.
+  /// The probe is an observer — it must not schedule events or send
+  /// messages (it reads queue_depth() and friends and records gauges /
+  /// trace events). Interval 0 (the default) disables sampling; the
+  /// probe never fires on an empty queue, so it cannot keep an otherwise
+  /// quiescent simulation alive.
+  void set_backlog_probe(SimTime interval, std::function<void(SimTime)> probe);
+
+  /// Pending events (messages + timers + scheduled calls).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Current causal-trace context (see Context::trace_context).
+  obs::SpanContext trace_context() const { return current_trace_; }
+  void set_trace_context(obs::SpanContext trace) { current_trace_ = trace; }
+  obs::SpanContext begin_trace();
+  std::uint64_t new_span_id() { return next_span_id_++; }
+
   // Internal API used by Context -------------------------------------
   void send(NodeId from, NodeId to, std::uint32_t kind,
             std::vector<std::uint8_t> payload);
@@ -180,6 +217,7 @@ class Simulator {
     Message message;
     NodeId timer_node = 0;
     std::uint64_t timer_id = 0;
+    obs::SpanContext timer_trace;  // context captured at set_timer
     std::function<void()> call;  // external injection when set
   };
   struct EventAfter {
@@ -210,6 +248,12 @@ class Simulator {
   TrafficStats traffic_;
   obs::TraceSink* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  obs::SpanContext current_trace_;
+  std::uint64_t next_trace_id_ = 1;  // 0 is "no trace"
+  std::uint64_t next_span_id_ = 1;
+  SimTime backlog_interval_ = 0;
+  SimTime next_backlog_ = 0;
+  std::function<void(SimTime)> backlog_probe_;
   // mocc-lint: allow-end(guarded-by)
 };
 

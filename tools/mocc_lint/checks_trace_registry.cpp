@@ -1,16 +1,21 @@
-// mocc-trace-registry: TraceEvent names form a closed, documented
-// registry.
+// mocc-trace-registry: TraceEvent and Span names form closed, documented
+// registries.
 //
-// Three places must agree:
-//   1. the TraceEventType enumeration (src/obs/trace.hpp);
+// Three places must agree, per registry:
+//   1. the enumeration (TraceEventType / SpanType, src/obs/trace.hpp);
 //   2. the obs::to_string switch (src/obs/trace.cpp) that maps each
 //      enumerator to its wire name;
-//   3. the "## Trace events" table in docs/observability.md.
+//   3. the matching table in docs/observability.md ("## Trace events" /
+//      "## Span types").
 // Tooling downstream of the trace (BENCH artifact diffing, the message
-// tracer's JSON output) keys on the names, so a renamed or undocumented
-// event silently forks the artifact schema. The check also flags name
-// literals that appear outside the to_string registry — events must be
-// emitted via the enum, never by spelling the string again.
+// tracer's JSON output, trace_query) keys on the names, so a renamed or
+// undocumented event silently forks the artifact schema. The check also
+// flags name literals that appear outside the to_string registry —
+// events and spans must be emitted via the enum, never by spelling the
+// string again.
+//
+// The SpanType pass is optional: a tree (or test fixture) without the
+// span registry has nothing to keep in sync, so an absent enum no-ops.
 #include "lint.hpp"
 
 #include <map>
@@ -30,18 +35,26 @@ std::size_t text_line_of(const std::string& text, std::size_t offset) {
   return line;
 }
 
+/// One enum ↔ to_string ↔ docs-table triple to keep in sync.
+struct RegistryShape {
+  std::string_view enum_name;  ///< "TraceEventType" / "SpanType"
+  std::string_view section;    ///< docs heading ("## Trace events", ...)
+  std::string_view noun;       ///< diagnostic wording ("trace event", ...)
+};
+
 struct Enumerator {
   std::string name;  ///< kMessageSend
   std::size_t line = 0;
 };
 
-/// Parses the enumerators of `enum class TraceEventType { ... }`.
-std::vector<Enumerator> parse_enum(const SourceFile& header) {
+/// Parses the enumerators of `enum class <enum_name> { ... }`.
+std::vector<Enumerator> parse_enum(const SourceFile& header,
+                                   std::string_view enum_name) {
   std::vector<Enumerator> enumerators;
   const std::vector<Token> tokens = tokenize(header);
   for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
     if (tokens[i].text != "enum" || tokens[i + 1].text != "class" ||
-        tokens[i + 2].text != "TraceEventType") {
+        tokens[i + 2].text != enum_name) {
       continue;
     }
     std::size_t j = i + 3;
@@ -69,14 +82,15 @@ struct Case {
   std::size_t line = 0;
 };
 
-/// Parses `case TraceEventType::kX: return "name";` arms out of the
+/// Parses `case <enum_name>::kX: return "name";` arms out of the
 /// to_string switch.
-std::vector<Case> parse_switch(const SourceFile& source) {
+std::vector<Case> parse_switch(const SourceFile& source,
+                               std::string_view enum_name) {
   std::vector<Case> cases;
   const std::vector<Token> tokens = tokenize(source);
   const auto& literals = source.string_literals();
   for (std::size_t i = 0; i + 5 < tokens.size(); ++i) {
-    if (tokens[i].text != "case" || tokens[i + 1].text != "TraceEventType" ||
+    if (tokens[i].text != "case" || tokens[i + 1].text != enum_name ||
         tokens[i + 2].text != "::") {
       continue;
     }
@@ -106,14 +120,15 @@ struct DocRow {
   std::size_t line = 0;
 };
 
-/// Extracts `| \`name\` | ... |` rows from the "## Trace events" table.
-std::vector<DocRow> parse_docs(const std::string& docs) {
+/// Extracts `| \`name\` | ... |` rows from the `section` table.
+std::vector<DocRow> parse_docs(const std::string& docs,
+                               std::string_view section) {
   std::vector<DocRow> rows;
-  const std::size_t section = docs.find("## Trace events");
-  if (section == std::string::npos) return rows;
-  std::size_t end = docs.find("\n## ", section + 1);
+  const std::size_t start = docs.find(section);
+  if (start == std::string::npos) return rows;
+  std::size_t end = docs.find("\n## ", start + 1);
   if (end == std::string::npos) end = docs.size();
-  std::size_t i = section;
+  std::size_t i = start;
   while (i < end) {
     std::size_t line_end = docs.find('\n', i);
     if (line_end == std::string::npos || line_end > end) line_end = end;
@@ -136,6 +151,101 @@ std::vector<DocRow> parse_docs(const std::string& docs) {
   return rows;
 }
 
+/// Runs the three-way sync for one registry; appends each registered
+/// wire name into `registered` (name -> shape, for the cross-file
+/// stray-literal scan). `required` demands the enum exist (the event
+/// registry); the span registry no-ops when absent.
+void check_one_registry(const Config& config, const RegistryShape& shape,
+                        bool required, const SourceFile& header,
+                        const SourceFile& source, const std::string& docs_text,
+                        std::map<std::string, const RegistryShape*>& registered,
+                        std::vector<Diagnostic>& out) {
+  const std::vector<Enumerator> enumerators = parse_enum(header, shape.enum_name);
+  const std::vector<Case> cases = parse_switch(source, shape.enum_name);
+  if (enumerators.empty()) {
+    if (required) {
+      out.push_back({"trace-registry", header.path(), 1,
+                     std::string(shape.enum_name) + " enumeration not found"});
+    }
+    return;
+  }
+  if (cases.empty()) {
+    out.push_back({"trace-registry", source.path(), 1,
+                   "to_string switch over " + std::string(shape.enum_name) +
+                       " not found"});
+    return;
+  }
+
+  std::map<std::string, const Case*> by_enumerator;
+  std::map<std::string, const Case*> by_name;
+  for (const auto& c : cases) {
+    if (const auto [it, inserted] = by_enumerator.try_emplace(c.enumerator, &c);
+        !inserted) {
+      out.push_back({"trace-registry", source.path(), c.line,
+                     "duplicate to_string case for '" + c.enumerator + "'"});
+    }
+    if (const auto [it, inserted] = by_name.try_emplace(c.name, &c);
+        !inserted) {
+      out.push_back({"trace-registry", source.path(), c.line,
+                     std::string(shape.noun) + " name '" + c.name +
+                         "' is returned for both '" + it->second->enumerator +
+                         "' and '" + c.enumerator + "'"});
+    }
+  }
+  for (const auto& [name, c] : by_name) registered.try_emplace(name, &shape);
+
+  std::set<std::string> enum_names;
+  for (const auto& e : enumerators) {
+    enum_names.insert(e.name);
+    if (by_enumerator.count(e.name) == 0 &&
+        !header.allowed("trace-registry", e.line)) {
+      out.push_back({"trace-registry", header.path(), e.line,
+                     "enumerator '" + e.name + "' has no to_string case in " +
+                         source.path()});
+    }
+  }
+  for (const auto& c : cases) {
+    if (enum_names.count(c.enumerator) == 0) {
+      out.push_back({"trace-registry", source.path(), c.line,
+                     "to_string case for '" + c.enumerator + "' which is not a " +
+                         std::string(shape.enum_name) + " enumerator"});
+    }
+  }
+
+  // Docs table must list exactly the registered names.
+  if (docs_text.empty()) {
+    out.push_back({"trace-registry", config.trace_docs_path, 1,
+                   "trace docs file is missing or empty (the \"" +
+                       std::string(shape.section) +
+                       "\" table documents the registry)"});
+    return;
+  }
+  const std::vector<DocRow> rows = parse_docs(docs_text, shape.section);
+  if (rows.empty()) {
+    out.push_back({"trace-registry", config.trace_docs_path, 1,
+                   "no \"" + std::string(shape.section) +
+                       "\" table rows found"});
+    return;
+  }
+  std::set<std::string> documented;
+  for (const auto& row : rows) {
+    documented.insert(row.name);
+    if (by_name.count(row.name) == 0) {
+      out.push_back({"trace-registry", config.trace_docs_path, row.line,
+                     "documented " + std::string(shape.noun) + " '" + row.name +
+                         "' is not produced by " + source.path()});
+    }
+  }
+  for (const auto& c : cases) {
+    if (documented.count(c.name) == 0) {
+      out.push_back({"trace-registry", source.path(), c.line,
+                     std::string(shape.noun) + " '" + c.name +
+                         "' is missing from the " + config.trace_docs_path +
+                         " table"});
+    }
+  }
+}
+
 }  // namespace
 
 void check_trace_registry(const Config& config,
@@ -153,83 +263,18 @@ void check_trace_registry(const Config& config,
     // (fixture trees in the self-tests routinely omit it).
     return;
   }
-  const std::vector<Enumerator> enumerators = parse_enum(*header);
-  const std::vector<Case> cases = parse_switch(*source);
-  if (enumerators.empty()) {
-    out.push_back({"trace-registry", header->path(), 1,
-                   "TraceEventType enumeration not found"});
-    return;
-  }
-  if (cases.empty()) {
-    out.push_back({"trace-registry", source->path(), 1,
-                   "to_string switch over TraceEventType not found"});
-    return;
-  }
 
-  std::map<std::string, const Case*> by_enumerator;
-  std::map<std::string, const Case*> by_name;
-  for (const auto& c : cases) {
-    if (const auto [it, inserted] = by_enumerator.try_emplace(c.enumerator, &c);
-        !inserted) {
-      out.push_back({"trace-registry", source->path(), c.line,
-                     "duplicate to_string case for '" + c.enumerator + "'"});
-    }
-    if (const auto [it, inserted] = by_name.try_emplace(c.name, &c);
-        !inserted) {
-      out.push_back({"trace-registry", source->path(), c.line,
-                     "trace name '" + c.name + "' is returned for both '" +
-                         it->second->enumerator + "' and '" + c.enumerator +
-                         "'"});
-    }
-  }
+  static constexpr RegistryShape kEventRegistry{"TraceEventType",
+                                                "## Trace events",
+                                                "trace event"};
+  static constexpr RegistryShape kSpanRegistry{"SpanType", "## Span types",
+                                               "span type"};
 
-  std::set<std::string> enum_names;
-  for (const auto& e : enumerators) {
-    enum_names.insert(e.name);
-    if (by_enumerator.count(e.name) == 0 &&
-        !header->allowed("trace-registry", e.line)) {
-      out.push_back({"trace-registry", header->path(), e.line,
-                     "enumerator '" + e.name +
-                         "' has no to_string case in " + source->path()});
-    }
-  }
-  for (const auto& c : cases) {
-    if (enum_names.count(c.enumerator) == 0) {
-      out.push_back({"trace-registry", source->path(), c.line,
-                     "to_string case for '" + c.enumerator +
-                         "' which is not a TraceEventType enumerator"});
-    }
-  }
-
-  // Docs table must list exactly the registered names.
-  if (docs_text.empty()) {
-    out.push_back({"trace-registry", config.trace_docs_path, 1,
-                   "trace docs file is missing or empty (the \"## Trace "
-                   "events\" table documents the registry)"});
-    return;
-  }
-  const std::vector<DocRow> rows = parse_docs(docs_text);
-  if (rows.empty()) {
-    out.push_back({"trace-registry", config.trace_docs_path, 1,
-                   "no \"## Trace events\" table rows found"});
-    return;
-  }
-  std::set<std::string> documented;
-  for (const auto& row : rows) {
-    documented.insert(row.name);
-    if (by_name.count(row.name) == 0) {
-      out.push_back({"trace-registry", config.trace_docs_path, row.line,
-                     "documented trace event '" + row.name +
-                         "' is not produced by " + source->path()});
-    }
-  }
-  for (const auto& c : cases) {
-    if (documented.count(c.name) == 0) {
-      out.push_back({"trace-registry", source->path(), c.line,
-                     "trace event '" + c.name + "' is missing from the " +
-                         config.trace_docs_path + " table"});
-    }
-  }
+  std::map<std::string, const RegistryShape*> registered;
+  check_one_registry(config, kEventRegistry, /*required=*/true, *header,
+                     *source, docs_text, registered, out);
+  check_one_registry(config, kSpanRegistry, /*required=*/false, *header,
+                     *source, docs_text, registered, out);
 
   // Registered names must not be re-spelled as literals elsewhere in the
   // production tree — emit through the enum, or the registry stops being
@@ -238,13 +283,16 @@ void check_trace_registry(const Config& config,
     if (&file == source) continue;
     if (!config.in_production_tree(file.path())) continue;
     for (const auto& literal : file.string_literals()) {
-      if (by_name.count(literal.value) == 0) continue;
+      const auto it = registered.find(literal.value);
+      if (it == registered.end()) continue;
       const std::size_t line = file.line_of(literal.offset);
       if (file.allowed("trace-registry", line)) continue;
       out.push_back({"trace-registry", file.path(), line,
-                     "registered trace event name '" + literal.value +
+                     "registered " + std::string(it->second->noun) + " name '" +
+                         literal.value +
                          "' spelled as a literal outside the to_string "
-                         "registry (emit via TraceEventType instead)"});
+                         "registry (emit via " +
+                         std::string(it->second->enum_name) + " instead)"});
     }
   }
 }

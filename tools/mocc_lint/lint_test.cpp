@@ -379,6 +379,92 @@ TEST(TraceRegistryTest, FlagsEveryKindOfDrift) {
             std::string::npos);
 }
 
+// The span registry is a second enum/to_string/docs triple in the same
+// files, checked with the same machinery.
+
+const char* const kSpanHeader =
+    "enum class TraceEventType {\n"
+    "  kFoo,\n"
+    "};\n"
+    "enum class SpanType {\n"
+    "  kWait,\n"
+    "  kHop,\n"
+    "};\n";
+
+const char* const kSpanSource =
+    "const char* to_string(TraceEventType type) {\n"
+    "  switch (type) {\n"
+    "    case TraceEventType::kFoo: return \"foo\";\n"
+    "  }\n"
+    "  return \"?\";\n"
+    "}\n"
+    "const char* to_string(SpanType type) {\n"
+    "  switch (type) {\n"
+    "    case SpanType::kWait: return \"wait\";\n"
+    "    case SpanType::kHop: return \"hop\";\n"
+    "  }\n"
+    "  return \"?\";\n"
+    "}\n";
+
+TEST(TraceRegistryTest, SyncedSpanRegistryIsClean) {
+  const std::vector<SourceFile> files = {make("src/trace.hpp", kSpanHeader),
+                                         make("src/trace.cpp", kSpanSource)};
+  std::vector<Diagnostic> out;
+  check_trace_registry(test_config(), files,
+                       "## Trace events\n"
+                       "| Event |\n"
+                       "| --- |\n"
+                       "| `foo` |\n\n"
+                       "## Span types\n"
+                       "| Span |\n"
+                       "| --- |\n"
+                       "| `wait` |\n"
+                       "| `hop` |\n",
+                       out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+TEST(TraceRegistryTest, FlagsSpanDrift) {
+  const std::vector<SourceFile> files = {
+      make("src/trace.hpp", kSpanHeader),
+      make("src/trace.cpp", kSpanSource),
+      // A registered span name spelled as a literal outside the registry.
+      make("src/other.cpp", "const char* n = \"wait\";\n")};
+  std::vector<Diagnostic> out;
+  // Docs span table misses `hop`.
+  check_trace_registry(test_config(), files,
+                       "## Trace events\n"
+                       "| Event |\n"
+                       "| --- |\n"
+                       "| `foo` |\n\n"
+                       "## Span types\n"
+                       "| Span |\n"
+                       "| --- |\n"
+                       "| `wait` |\n",
+                       out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("span type name 'wait' spelled as a literal"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find("span type 'hop' is missing from"),
+            std::string::npos);
+}
+
+TEST(TraceRegistryTest, MissingSpanTableIsFlaggedWhenSpansExist) {
+  const std::vector<SourceFile> files = {make("src/trace.hpp", kSpanHeader),
+                                         make("src/trace.cpp", kSpanSource)};
+  std::vector<Diagnostic> out;
+  check_trace_registry(test_config(), files,
+                       "## Trace events\n"
+                       "| Event |\n"
+                       "| --- |\n"
+                       "| `foo` |\n",
+                       out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("no \"## Span types\" table rows found"),
+            std::string::npos);
+}
+
 // --- driver / real tree ----------------------------------------------
 
 TEST(DriverTest, RunChecksMergesAndSortsAllChecks) {
