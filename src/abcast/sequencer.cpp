@@ -22,8 +22,13 @@ void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin
                                            const std::vector<std::uint8_t>& payload) {
   MOCC_ASSERT(ctx.self() == kSequencerNode);
   const std::uint64_t seq = next_seq_to_assign_++;
+  // mocc-check mutation: mislabel the first two fan-outs (0 <-> 1) while
+  // the local accept below keeps the true position — receivers apply the
+  // first two updates in the opposite order from the sequencer.
+  std::uint64_t wire_seq = seq;
+  if (options_.mutate_swap_first_two && seq < 2) wire_seq = 1 - seq;
   util::ByteWriter out;
-  out.put_u64(seq);
+  out.put_u64(wire_seq);
   out.put_u32(origin);
   out.put_string(std::string(payload.begin(), payload.end()));
   send_to_others(ctx, kDeliver, out.bytes());

@@ -22,6 +22,17 @@ class SequencerAbcast final : public AtomicBroadcast {
   static constexpr std::uint32_t kDeliver = sim::wire::abcast_kind(1);
   static constexpr sim::NodeId kSequencerNode = 0;
 
+  struct Options {
+    /// Deliberate protocol mutation for mocc-check validation (never set
+    /// in production): the sequencer fans out the first two positions
+    /// with swapped sequence labels while delivering locally in true
+    /// order, so receivers and the sequencer disagree on the total order.
+    bool mutate_swap_first_two = false;
+  };
+
+  SequencerAbcast() = default;
+  explicit SequencerAbcast(Options options) : options_(options) {}
+
   void broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) override;
   bool on_message(sim::Context& ctx, const sim::Message& message) override;
   std::string name() const override { return "sequencer"; }
@@ -41,6 +52,7 @@ class SequencerAbcast final : public AtomicBroadcast {
     sim::SimTime seen_at = 0;  ///< abcast_agree span begin
   };
 
+  Options options_;
   std::uint64_t next_seq_to_assign_ = 0;   // sequencer only
   std::uint64_t next_seq_to_deliver_ = 0;  // every node
   std::map<std::uint64_t, PendingDelivery> pending_;

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "abcast/abcast.hpp"
+#include "abcast/sequencer.hpp"
 #include "protocols/locking_replica.hpp"
 #include "protocols/mlin_replica.hpp"
 #include "protocols/mseq_replica.hpp"
@@ -40,6 +41,15 @@ System::System(const SystemConfig& config) : config_(config) {
     sim_->set_fault_injector(fault_plan_.get());
   }
 
+  const bool mutate_seq_swap = config.mutation == "seq-swap";
+  const bool mutate_skip_delivery = config.mutation == "skip-delivery";
+  const bool mutate_early_release = config.mutation == "early-release";
+  MOCC_ASSERT_MSG(config.mutation.empty() || mutate_seq_swap ||
+                      mutate_skip_delivery || mutate_early_release,
+                  "unknown mutation (seq-swap|skip-delivery|early-release)");
+  MOCC_ASSERT_MSG(!mutate_seq_swap || config.broadcast == "sequencer",
+                  "seq-swap mutates the sequencer broadcast");
+
   const bool is_mseq = config.protocol == "mseq";
   const bool is_mlin_bcastq = config.protocol == "mlin-bcastq";
   const bool is_mlin = config.protocol == "mlin";
@@ -51,23 +61,33 @@ System::System(const SystemConfig& config) : config_(config) {
                   "unknown protocol (mseq|mlin|mlin-narrow|mlin-bcastq|locking|"
                   "aggregate)");
 
+  const auto make_abcast = [&]() -> std::unique_ptr<abcast::AtomicBroadcast> {
+    if (mutate_seq_swap) {
+      abcast::SequencerAbcast::Options options;
+      options.mutate_swap_first_two = true;
+      return std::make_unique<abcast::SequencerAbcast>(options);
+    }
+    return abcast::make_abcast_factory(config.broadcast)();
+  };
+
   for (std::size_t p = 0; p < config.num_processes; ++p) {
     std::unique_ptr<protocols::Replica> replica;
     if (is_mseq || is_mlin_bcastq) {
       protocols::MSeqReplica::Options options;
       options.broadcast_queries = is_mlin_bcastq;
+      options.mutate_skip_first_foreign = mutate_skip_delivery && p == 1;
       replica = std::make_unique<protocols::MSeqReplica>(
-          config.num_objects, abcast::make_abcast_factory(config.broadcast)(),
-          *recorder_, options);
+          config.num_objects, make_abcast(), *recorder_, options);
     } else if (is_mlin || is_mlin_narrow) {
       protocols::MLinReplica::Options options;
       options.narrow_replies = is_mlin_narrow || config.narrow_replies;
+      options.mutate_skip_first_foreign = mutate_skip_delivery && p == 1;
       replica = std::make_unique<protocols::MLinReplica>(
-          config.num_objects, abcast::make_abcast_factory(config.broadcast)(),
-          *recorder_, options);
+          config.num_objects, make_abcast(), *recorder_, options);
     } else {
       protocols::LockingReplica::Options options;
       options.aggregate = is_aggregate;
+      options.mutate_early_release = mutate_early_release;
       replica = std::make_unique<protocols::LockingReplica>(
           config.num_objects, config.num_processes, *recorder_, options);
     }
@@ -209,5 +229,9 @@ std::vector<fault::FailedSend> System::link_failures() const {
 }
 
 void System::set_trace_sink(obs::TraceSink* sink) { sim_->set_trace_sink(sink); }
+
+void System::set_schedule_controller(sim::ScheduleController* controller) {
+  sim_->set_schedule_controller(controller);
+}
 
 }  // namespace mocc::api

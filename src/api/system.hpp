@@ -61,6 +61,17 @@ struct SystemConfig {
   /// reliable link. Off by default: the paper assumes reliable channels.
   bool reliable_link = false;
   fault::ReliableLink::Options link;
+  /// Deliberate protocol mutation, for validating that the mocc-check
+  /// explorer (src/check) actually catches broken protocols. Empty — the
+  /// default — is the correct protocol. Accepted values:
+  ///   "seq-swap"      sequencer fans out the first two positions with
+  ///                   swapped labels (requires broadcast="sequencer")
+  ///   "skip-delivery" node 1 silently skips applying its first foreign
+  ///                   abcast delivery (mseq / mlin variants)
+  ///   "early-release" 2PL releases locks in a separate commit message
+  ///                   sent before the writes (locking/aggregate)
+  /// Never set outside tests and mocc-check selftests.
+  std::string mutation;
   /// Deterministic backlog sampling: once per crossed multiple of this
   /// virtual-time interval, the system samples the simulator's event
   /// queue depth and the total reliable-link retransmit-buffer bytes —
@@ -129,6 +140,11 @@ class System {
   /// events of subsequent runs flow into it; with no sink attached the
   /// instrumentation costs one pointer test per event site.
   void set_trace_sink(obs::TraceSink* sink);
+
+  /// Attaches a mocc-check schedule controller (sim/simulator.hpp) to the
+  /// underlying simulator. Not owned; must be attached before the first
+  /// run(). Requires faults off.
+  void set_schedule_controller(sim::ScheduleController* controller);
 
   /// The most recent backlog sample (all zero until the first probe
   /// fires; see SystemConfig::backlog_sample_interval).

@@ -43,6 +43,15 @@ class History {
   /// code that constructs histories by deserialization).
   bool well_formed(std::string* why = nullptr) const;
 
+  /// Value coherence: every external read labelled "reads from β" must
+  /// carry exactly the value β's final write stored into that object (or
+  /// `initial_value` when β is kInitialMOp), and β must actually write
+  /// the object. The admissibility checkers order m-operations by the
+  /// reads-from *edges* alone, so a replica that loses a delivery can
+  /// still produce edge-wise legal histories where the read VALUE
+  /// diverges from the writer's record — this catches those.
+  bool value_coherent(std::string* why = nullptr, Value initial_value = 0) const;
+
   /// rfobjects(H, α, β) — the objects α reads from β (D: §4).
   /// β may be kInitialMOp.
   std::vector<ObjectId> rfobjects(MOpId alpha, MOpId beta) const;

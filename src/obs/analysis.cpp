@@ -595,7 +595,8 @@ RebuiltExecution rebuild_execution(const TraceFile& trace,
   return result;
 }
 
-TraceAudit audit_from_trace(const TraceFile& trace, core::Condition condition) {
+TraceAudit audit_from_trace(const TraceFile& trace, core::Condition condition,
+                            std::uint64_t exact_budget) {
   TraceAudit audit;
   const RebuiltExecution rebuilt =
       rebuild_execution(trace, /*num_processes=*/0, /*num_objects=*/0);
@@ -609,11 +610,36 @@ TraceAudit audit_from_trace(const TraceFile& trace, core::Condition condition) {
     audit.detail = "rebuilt history is not well-formed: " + why;
     return audit;
   }
+  if (!rebuilt.history->value_coherent(&why)) {
+    audit.detail = "rebuilt history is not value-coherent: " + why;
+    return audit;
+  }
   if (!rebuilt.has_ww) {
-    // No abcast order in the trace (2PL runs): the structural checks are
-    // all that can run without the exponential checker.
-    audit.ok = true;
-    audit.detail = "well-formed; no abcast order in trace, fast check skipped";
+    // No abcast order in the trace (2PL runs): no fast check — fall back
+    // to the exponential exact checker, bounded by exact_budget states.
+    if (exact_budget == 0) {
+      audit.ok = true;
+      audit.detail = "well-formed; no abcast order in trace, fast check skipped";
+      return audit;
+    }
+    core::AdmissibilityOptions options;
+    options.max_states = exact_budget;
+    audit.exact = core::check_condition(*rebuilt.history, condition, options);
+    std::ostringstream detail;
+    if (!audit.exact->completed) {
+      audit.ok = true;  // undecided is not a violation
+      detail << "well-formed; no abcast order in trace; exact check undecided "
+                "within "
+             << exact_budget << " states";
+      audit.detail = detail.str();
+      return audit;
+    }
+    audit.ok = audit.exact->admissible;
+    detail << core::condition_name(condition)
+           << " (exact check, no abcast order in trace): "
+           << (audit.ok ? "admissible" : "VIOLATION") << " ("
+           << audit.exact->states_visited << " states searched)";
+    audit.detail = detail.str();
     return audit;
   }
   audit.fast = core::fast_check_condition(*rebuilt.history, condition,

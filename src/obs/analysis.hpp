@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admissibility.hpp"
 #include "core/fast_check.hpp"
 #include "core/history.hpp"
 #include "core/relations.hpp"
@@ -134,14 +135,22 @@ RebuiltExecution rebuild_execution(const TraceFile& trace,
 /// Audit-from-trace: rebuild, verify well-formedness, and — when the
 /// trace carries an abcast order — run the Theorem-7 fast check of
 /// `condition` with the rebuilt ~ww as the synchronization order,
-/// exactly as api::System::check_fast does from the recorder.
+/// exactly as api::System::check_fast does from the recorder. Traces
+/// with no abcast order (2PL runs, mocc-check locking counterexamples)
+/// fall back to the exact admissibility search, bounded by
+/// `exact_budget` states — 0 skips it (the pre-exact behavior: only the
+/// structural checks run and the audit trivially passes). An exhausted
+/// budget is reported as undecided, not as a violation.
 struct TraceAudit {
   bool ok = false;
   std::size_t mops = 0;
   std::string detail;  ///< why !ok, or a one-line verdict
   std::optional<core::FastCheckResult> fast;  ///< set when ~ww present
+  /// Set when the exact fallback ran (no ~ww, nonzero budget).
+  std::optional<core::AdmissibilityResult> exact;
 };
 
-TraceAudit audit_from_trace(const TraceFile& trace, core::Condition condition);
+TraceAudit audit_from_trace(const TraceFile& trace, core::Condition condition,
+                            std::uint64_t exact_budget = 1'000'000);
 
 }  // namespace mocc::obs

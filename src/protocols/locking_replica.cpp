@@ -216,9 +216,26 @@ void LockingReplica::execute_and_commit(sim::Context& ctx, PendingOp& op) {
       }
     }
   }
-  op.commit_acks_expected = commits.size();
+  // mocc-check mutation: break the writes-and-unlocks-ride-together
+  // invariant by splitting each home's commit into an unlock-only message
+  // sent BEFORE a write-only one — on a reordering (or explored) network
+  // the next lock holder can read the home copy before the write lands.
+  std::vector<std::pair<sim::NodeId, HomeCommit>> messages;
+  for (auto& [home, commit] : commits) {
+    const bool has_writes = !commit.write_objects.empty();
+    const bool has_unlocks =
+        !commit.unlock_shared.empty() || !commit.unlock_exclusive.empty();
+    if (options_.mutate_early_release && has_writes && has_unlocks) {
+      HomeCommit unlocks;
+      unlocks.unlock_shared.swap(commit.unlock_shared);
+      unlocks.unlock_exclusive.swap(commit.unlock_exclusive);
+      messages.emplace_back(home, std::move(unlocks));
+    }
+    messages.emplace_back(home, std::move(commit));
+  }
+  op.commit_acks_expected = messages.size();
   MOCC_ASSERT(op.commit_acks_expected > 0);
-  for (const auto& [home, commit] : commits) {
+  for (const auto& [home, commit] : messages) {
     if (home == ctx.self()) {
       handle_commit_req(ctx, ctx.self(), op.id, commit.write_objects,
                         commit.write_values, commit.unlock_shared,

@@ -40,6 +40,11 @@ class LockingReplica final : public Replica {
     /// Aggregate-object strawman: one global exclusive lock for every
     /// m-operation.
     bool aggregate = false;
+    /// Deliberate protocol mutation for mocc-check validation (never set
+    /// in production): release locks in a commit message SEPARATE from
+    /// (and sent before) the one carrying the writes, so a competitor can
+    /// acquire the lock and read the home copy before the write lands.
+    bool mutate_early_release = false;
   };
 
   LockingReplica(std::size_t num_objects, std::size_t num_nodes,

@@ -83,6 +83,14 @@ void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
 
   const std::uint64_t ww_seq = deliveries_++;
 
+  // mocc-check mutation: drop the first foreign delivery on the floor
+  // (slot consumed, state untouched) — this replica's copy goes stale.
+  if (options_.mutate_skip_first_foreign && !mutation_skipped_ &&
+      origin != ctx.self()) {
+    mutation_skipped_ = true;
+    return;
+  }
+
   RecordingStore store(my_x_, last_writer_, id);
   const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
   for (const mscript::ObjectId x : exec.objects_written()) {

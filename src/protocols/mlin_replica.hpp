@@ -42,6 +42,11 @@ class MLinReplica final : public Replica {
     /// §5.2 optimization: replies carry only the objects the query may
     /// read instead of the whole store.
     bool narrow_replies = false;
+    /// Deliberate protocol mutation for mocc-check validation (never set
+    /// in production): silently skip applying the first delivered foreign
+    /// update — the delivery counter still advances, so the replica's
+    /// copy and timestamps go quietly stale.
+    bool mutate_skip_first_foreign = false;
   };
 
   MLinReplica(std::size_t num_objects, std::unique_ptr<abcast::AtomicBroadcast> abcast,
@@ -76,6 +81,8 @@ class MLinReplica final : public Replica {
   util::VersionVector myts_;
   std::vector<core::MOpId> last_writer_;
   std::uint64_t deliveries_ = 0;
+  /// mutate_skip_first_foreign: the one skip has been spent.
+  bool mutation_skipped_ = false;
 
   struct PendingUpdate {
     ResponseFn on_response;

@@ -90,6 +90,14 @@ void MSeqReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
   const std::optional<std::uint64_t> ww_seq =
       program.is_update() ? std::optional<std::uint64_t>(seq) : std::nullopt;
 
+  // mocc-check mutation: drop the first foreign delivery on the floor
+  // (slot consumed, state untouched) — this replica's copy goes stale.
+  if (options_.mutate_skip_first_foreign && !mutation_skipped_ &&
+      origin != ctx.self()) {
+    mutation_skipped_ = true;
+    return;
+  }
+
   RecordingStore store(my_x_, last_writer_, id);
   const mscript::ExecutionResult exec = mscript::Vm::run(program, store);
   for (const mscript::ObjectId x : exec.objects_written()) {

@@ -36,6 +36,11 @@ class MSeqReplica final : public Replica {
     /// Route queries through the atomic broadcast as well; see header
     /// comment. Off = the literal Figure 4.
     bool broadcast_queries = false;
+    /// Deliberate protocol mutation for mocc-check validation (never set
+    /// in production): silently skip applying the first delivered foreign
+    /// update — the delivery counter still advances, so the replica's
+    /// copy and timestamps go quietly stale.
+    bool mutate_skip_first_foreign = false;
   };
 
   MSeqReplica(std::size_t num_objects, std::unique_ptr<abcast::AtomicBroadcast> abcast,
@@ -72,6 +77,8 @@ class MSeqReplica final : public Replica {
 
   /// Delivery index of the abcast stream (identical at every replica).
   std::uint64_t deliveries_ = 0;
+  /// mutate_skip_first_foreign: the one skip has been spent.
+  bool mutation_skipped_ = false;
 
   struct PendingUpdate {
     ResponseFn on_response;

@@ -115,6 +115,7 @@ WorkloadReport run_workload(sim::Simulator& sim, const std::vector<Replica*>& re
           self->report->query_latency.add(latency);
           ++self->report->queries;
         }
+        // mocc-lint: allow(sched-hook): harness issue loop, not protocol
         self->sim.schedule_call(self->sim.now() + self->params.think_time,
                                 [self] { self->issue(); });
       });
@@ -125,6 +126,7 @@ WorkloadReport run_workload(sim::Simulator& sim, const std::vector<Replica*>& re
     auto loop = std::make_shared<Loop>(sim, *replicas[node], node,
                                        params.ops_per_process, num_objects, params,
                                        report, rng, zipf, salt);
+    // mocc-lint: allow(sched-hook): harness kickoff, not protocol code
     sim.schedule_call(1 + node, [loop] { loop->issue(); });
   }
 

@@ -7,6 +7,15 @@
 
 namespace mocc::sim {
 
+std::uint64_t payload_fingerprint(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
 SimTime Context::now() const { return sim_.now(); }
 
 obs::TraceSink* Context::trace_sink() const { return sim_.trace_sink(); }
@@ -78,6 +87,14 @@ void Simulator::drain_posted() {
   for (auto& fn : batch) schedule_call(now_, std::move(fn));
 }
 
+void Simulator::set_schedule_controller(ScheduleController* controller) {
+  MOCC_ASSERT_MSG(!started_,
+                  "schedule controller must be attached before the first run()");
+  MOCC_ASSERT_MSG(controller == nullptr || faults_ == nullptr,
+                  "controlled exploration is incompatible with fault injection");
+  controller_ = controller;
+}
+
 obs::SpanContext Simulator::begin_trace() {
   // No sink, no trace: keeps the disabled-tracing path free of id churn
   // and every downstream emission site inert (invalid contexts propagate
@@ -116,6 +133,19 @@ void Simulator::send(NodeId from, NodeId to, std::uint32_t kind,
   if (trace_ != nullptr) {
     trace_->on_event({obs::TraceEventType::kMessageSend, now_, from, to, kind, 0,
                       bytes});
+  }
+
+  // Schedule-controller hook: in controlled mode the delivery instant is
+  // the controller's decision, not the delay model's. Park the message in
+  // canonical send order; run() surfaces it as a choice point. No delay
+  // sample is drawn, so the RNG stream is untouched and a choice sequence
+  // alone determines the execution.
+  if (controller_ != nullptr) {
+    Event event;
+    event.seq = next_seq_++;
+    event.message = Message{from, to, kind, std::move(payload), current_trace_, now_};
+    held_messages_.push_back(std::move(event));
+    return;
   }
 
   // Fault hook: one branch when detached; the detached path below is
@@ -241,7 +271,14 @@ SimTime Simulator::run(SimTime max_time) {
   }
   for (;;) {
     drain_posted();
-    if (queue_.empty()) break;
+    if (queue_.empty()) {
+      // Controlled mode: internal events (calls, timers) always dispatch
+      // first in deterministic (time, seq) order; only once they are
+      // exhausted does the controller pick among pending deliveries.
+      if (controller_ == nullptr || held_messages_.empty()) break;
+      if (!dispatch_controlled_choice()) return now_;
+      continue;
+    }
     // Check the deadline BEFORE popping so a paused run can resume
     // without losing the event at the horizon.
     if (max_time != 0 && queue_.top().time > max_time) {
@@ -260,10 +297,42 @@ SimTime Simulator::run(SimTime max_time) {
     Event event = queue_.top();
     queue_.pop();
     MOCC_ASSERT_MSG(event.time >= now_, "time went backwards");
+    // Deterministic tie-break: pops are lexicographically increasing in
+    // (time, seq) — equal-time events dispatch in send order. mocc-check
+    // replay files are only valid against this order (DESIGN.md).
+    MOCC_DEBUG_ASSERT(!popped_any_ || event.time > last_pop_time_ ||
+                      (event.time == last_pop_time_ && event.seq > last_pop_seq_));
+    popped_any_ = true;
+    last_pop_time_ = event.time;
+    last_pop_seq_ = event.seq;
     now_ = event.time;
     dispatch(event);
   }
   return now_;
+}
+
+bool Simulator::dispatch_controlled_choice() {
+  std::vector<ScheduleController::Choice> choices;
+  choices.reserve(held_messages_.size());
+  for (const Event& held : held_messages_) {
+    // Canonical choice order — ascending send seq (the same FIFO
+    // tie-break the event queue uses). Replay indices depend on it.
+    MOCC_DEBUG_ASSERT(choices.empty() || held.seq > choices.back().seq);
+    choices.push_back(ScheduleController::Choice{
+        held.seq, held.message.from, held.message.to, held.message.kind,
+        payload_fingerprint(held.message.payload)});
+  }
+  const std::size_t pick = controller_->choose(choices);
+  if (pick == ScheduleController::kAbortRun) return false;
+  MOCC_ASSERT_MSG(pick < held_messages_.size(),
+                  "schedule controller chose an out-of-range delivery");
+  Event event = std::move(held_messages_[pick]);
+  held_messages_.erase(held_messages_.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+  now_ += 1;  // one tick per delivery: step-counter virtual time
+  event.time = now_;
+  dispatch(event);
+  return true;
 }
 
 }  // namespace mocc::sim

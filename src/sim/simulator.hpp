@@ -64,6 +64,56 @@ class FaultInjector {
   virtual bool is_down(NodeId node, SimTime now) = 0;
 };
 
+/// Controlled-nondeterminism hook (implemented by the mocc-check
+/// explorer, src/check). When attached, message deliveries stop being
+/// ordered by sampled network delays: Simulator::send parks each message
+/// in a pending list instead of the time-ordered event queue, and
+/// whenever no internal event (scheduled call / timer) remains, run()
+/// asks the controller which pending delivery dispatches next. Internal
+/// events always dispatch first, in deterministic (time, seq) order, so
+/// the ONLY nondeterminism surfaced to the controller is the
+/// message-delivery interleaving — exactly the choice surface systematic
+/// exploration enumerates. Virtual time advances by one tick per chosen
+/// delivery (the delay model and the RNG stream are never consulted), so
+/// a choice sequence fully determines the execution.
+///
+/// Replay-stability contract (asserted below, documented in DESIGN.md):
+/// the pending list handed to choose() is in ascending send-seq order —
+/// the same FIFO tie-break the event queue uses for equal times. Choice
+/// indices recorded by one binary stay valid as long as that canonical
+/// order and the actors' send behavior are unchanged; replay files carry
+/// per-choice structural signatures to detect when they are not.
+/// FNV-1a (64-bit) over payload bytes: the fingerprint carried in
+/// ScheduleController::Choice and mocc-check replay signatures.
+std::uint64_t payload_fingerprint(const std::vector<std::uint8_t>& bytes);
+
+class ScheduleController {
+ public:
+  /// One pending message delivery, described structurally (not by
+  /// pointer) so controllers can persist and compare choices across
+  /// re-executions.
+  struct Choice {
+    std::uint64_t seq = 0;  ///< send sequence number (canonical order)
+    NodeId from = 0;
+    NodeId to = 0;
+    std::uint32_t kind = 0;
+    /// FNV-1a over the payload bytes: lets replay detect a divergent
+    /// execution without storing payloads in choice files.
+    std::uint64_t payload_hash = 0;
+  };
+
+  /// Sentinel return from choose(): abandon the run immediately (run()
+  /// returns with the remaining pending deliveries undelivered). Used by
+  /// the explorer to cut a schedule at a pruned or divergent state.
+  static constexpr std::size_t kAbortRun = static_cast<std::size_t>(-1);
+
+  virtual ~ScheduleController() = default;
+
+  /// Picks the next delivery: an index into `pending` (non-empty,
+  /// ascending seq), or kAbortRun.
+  virtual std::size_t choose(const std::vector<Choice>& pending) = 0;
+};
+
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
@@ -184,6 +234,15 @@ class Simulator {
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
   FaultInjector* fault_injector() const { return faults_; }
 
+  /// Attaches a schedule controller (not owned; must outlive the
+  /// simulator). Must be set before the first run() and is incompatible
+  /// with fault injection (controlled mode models the paper's pristine
+  /// reliable network; message fates are the controller's alone). Null —
+  /// the default — keeps delay-model ordering, bit-identical to a
+  /// hook-free build.
+  void set_schedule_controller(ScheduleController* controller);
+  ScheduleController* schedule_controller() const { return controller_; }
+
   /// Installs a deterministic backlog probe: whenever virtual time is
   /// about to cross a multiple of `interval`, `probe(sample_time)` runs
   /// once per crossed multiple, before the crossing event dispatches.
@@ -194,8 +253,9 @@ class Simulator {
   /// quiescent simulation alive.
   void set_backlog_probe(SimTime interval, std::function<void(SimTime)> probe);
 
-  /// Pending events (messages + timers + scheduled calls).
-  std::size_t queue_depth() const { return queue_.size(); }
+  /// Pending events (messages + timers + scheduled calls), including
+  /// deliveries parked for a schedule controller.
+  std::size_t queue_depth() const { return queue_.size() + held_messages_.size(); }
 
   /// Current causal-trace context (see Context::trace_context).
   obs::SpanContext trace_context() const { return current_trace_; }
@@ -228,6 +288,10 @@ class Simulator {
   };
 
   void dispatch(const Event& event);
+  /// Controlled mode: surfaces held_messages_ to the controller and
+  /// dispatches the chosen delivery at now_ + 1. Returns false when the
+  /// controller aborted the run.
+  bool dispatch_controlled_choice();
   /// Moves everything in posted_ into the event queue at virtual time
   /// now_ (in posting order). Runs on the simulation thread.
   void drain_posted() MOCC_EXCLUDES(post_mu_);
@@ -248,6 +312,16 @@ class Simulator {
   TrafficStats traffic_;
   obs::TraceSink* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  ScheduleController* controller_ = nullptr;
+  /// Controlled mode only: messages awaiting a choose() decision, in
+  /// ascending send-seq (canonical) order.
+  std::vector<Event> held_messages_;
+  /// Tie-break monotonicity witness for the queue path: successive pops
+  /// must be lexicographically increasing in (time, seq) — replay files
+  /// depend on that order staying deterministic (debug-asserted).
+  SimTime last_pop_time_ = 0;
+  std::uint64_t last_pop_seq_ = 0;
+  bool popped_any_ = false;
   obs::SpanContext current_trace_;
   std::uint64_t next_trace_id_ = 1;  // 0 is "no trace"
   std::uint64_t next_span_id_ = 1;

@@ -1,0 +1,57 @@
+// mocc-sched-hook: the protocol layers introduce no scheduling decision
+// the ScheduleController cannot see.
+//
+// mocc-check's exhaustiveness claim — "every delivery interleaving of
+// this configuration was explored" — holds only if every
+// nondeterministic event in src/abcast, src/protocols and src/fault
+// enters the simulator through the send seam (Simulator::send via
+// NodeContext), where controlled mode interposes its choice points.
+// A direct queue push — Simulator::schedule_call or the cross-thread
+// post() — creates an event the controller never enumerates, silently
+// shrinking the explored schedule space while the tool still reports
+// "complete". Harness code (the workload driver's self-rescheduling
+// issue loop) is the sanctioned exception and carries inline allows.
+#include "lint.hpp"
+
+namespace mocc::lint {
+
+void check_sched_hook(const Config& config, const SourceFile& file,
+                      std::vector<Diagnostic>& out) {
+  if (!config.in_sched_hook_tree(file.path())) return;
+  const std::vector<Token> tokens = tokenize(file);
+  auto emit = [&](std::size_t offset, std::string message) {
+    const std::size_t line = file.line_of(offset);
+    if (file.allowed("sched-hook", line)) return;
+    out.push_back({"sched-hook", file.path(), line, std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Token::Kind::kIdent) continue;
+
+    if (tok.text == "schedule_call") {
+      emit(tok.offset,
+           "'schedule_call' in the protocol layer (a direct simulator "
+           "queue push bypasses the ScheduleController, so mocc-check "
+           "cannot enumerate the event; route through the send seam or "
+           "justify with an inline allow)");
+      continue;
+    }
+
+    if (tok.text == "post") {
+      // Only calls that name a member or qualified function: `sim.post(`,
+      // `sim->post(`, `Simulator::post(` — a field or local named `post`
+      // without a call stays legal.
+      const bool called = i + 1 < tokens.size() && tokens[i + 1].text == "(";
+      if (!called || i == 0) continue;
+      const std::string_view prev = tokens[i - 1].text;
+      if (prev != "." && prev != "->" && prev != "::") continue;
+      emit(tok.offset,
+           "'post' call in the protocol layer (cross-thread queue "
+           "injection bypasses the ScheduleController; only harness code "
+           "may post, with an inline allow)");
+    }
+  }
+}
+
+}  // namespace mocc::lint

@@ -115,6 +115,7 @@ std::vector<Diagnostic> run_checks(const Config& config,
     }
     if (enabled("determinism")) check_determinism(config, file, out);
     if (enabled("guarded-by")) check_guarded_by(config, file, out);
+    if (enabled("sched-hook")) check_sched_hook(config, file, out);
   }
   if (enabled("wire-kind")) check_wire_kind(config, files, out);
   if (enabled("trace-registry")) {

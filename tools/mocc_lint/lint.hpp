@@ -3,7 +3,7 @@
 // The repo's determinism guarantees (byte-identical simulator reruns,
 // golden bench artifacts, seed-reproducible chaos sweeps) rest on
 // conventions no general-purpose tool checks. mocc-lint turns them into
-// an enforced contract with four checks:
+// an enforced contract with five checks:
 //
 //   determinism     — no wall clock, no ambient randomness, and no
 //                     unordered containers inside the deterministic
@@ -19,6 +19,13 @@
 //                     carries MOCC_GUARDED_BY / MOCC_PT_GUARDED_BY (the
 //                     classes sim::ParallelRunner fans work over are
 //                     exactly the mutex-holding ones).
+//   sched-hook      — protocol-layer code (src/abcast, src/protocols,
+//                     src/fault) introduces no scheduling decision the
+//                     ScheduleController cannot see: every event enters
+//                     the simulator through the send seam, never by
+//                     direct queue pushes (schedule_call / post). The
+//                     mocc-check explorer's exhaustiveness claim is only
+//                     as strong as this routing invariant.
 //   trace-registry  — TraceEvent name literals live only in the
 //                     obs::to_string registry, cover the enum exactly,
 //                     and stay in sync with docs/observability.md.
@@ -54,7 +61,8 @@ namespace mocc::lint {
 /// Check identifiers accepted by the allow() escape hatch. "suppression"
 /// names the meta-check that validates the escape hatches themselves.
 inline constexpr std::string_view kCheckNames[] = {
-    "determinism", "wire-kind", "guarded-by", "trace-registry", "suppression"};
+    "determinism", "wire-kind",   "guarded-by",
+    "sched-hook",  "trace-registry", "suppression"};
 
 bool is_known_check(std::string_view name);
 
@@ -156,6 +164,9 @@ struct Config {
   /// Paths (repo-relative) under which the wire-kind send-site and
   /// guarded-by checks apply.
   std::vector<std::string> production_paths;
+  /// Paths whose code must route every simulator event through the
+  /// ScheduleController seam (the sched-hook check).
+  std::vector<std::string> sched_hook_paths;
   std::string registry_path;      ///< src/sim/wire_kinds.hpp
   std::string trace_header_path;  ///< src/obs/trace.hpp
   std::string trace_source_path;  ///< src/obs/trace.cpp
@@ -166,6 +177,7 @@ struct Config {
 
   bool in_deterministic_subtree(std::string_view path) const;
   bool in_production_tree(std::string_view path) const;
+  bool in_sched_hook_tree(std::string_view path) const;
 };
 
 // --- Checks (portable token engine) ---------------------------------
@@ -176,6 +188,11 @@ void check_determinism(const Config& config, const SourceFile& file,
 
 /// GUARDED_BY coverage of mutex-holding classes.
 void check_guarded_by(const Config& config, const SourceFile& file,
+                      std::vector<Diagnostic>& out);
+
+/// Direct simulator queue pushes (schedule_call, member post()) inside
+/// sched_hook_paths — events the ScheduleController never sees.
+void check_sched_hook(const Config& config, const SourceFile& file,
                       std::vector<Diagnostic>& out);
 
 /// Registry derivation, ranges, directories, cross-TU collisions, raw

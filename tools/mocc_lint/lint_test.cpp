@@ -20,6 +20,7 @@ Config test_config() {
   config.deterministic_paths = {"src/"};
   config.component_paths = {{"alpha", "src/alpha/"}, {"beta", "src/beta/"}};
   config.production_paths = {"src/", "bench/"};
+  config.sched_hook_paths = {"src/proto/"};
   config.registry_path = "src/wire_kinds.hpp";
   config.trace_header_path = "src/trace.hpp";
   config.trace_source_path = "src/trace.cpp";
@@ -157,6 +158,42 @@ TEST(DeterminismTest, AllowSuppressesWithJustification) {
   check_determinism(test_config(), file, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].line, 3u);
+}
+
+// --- sched-hook -------------------------------------------------------
+
+TEST(SchedHookTest, FlagsDirectQueuePushesInTheProtocolTree) {
+  const SourceFile file = make("src/proto/replica.cpp",
+                               "void f(Sim& sim) {\n"
+                               "  sim.schedule_call(1, [] {});\n"
+                               "  sim.post([] {});\n"
+                               "  sim_->post([] {});\n"
+                               "}\n");
+  std::vector<Diagnostic> out;
+  check_sched_hook(test_config(), file, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].line, 2u);
+  EXPECT_EQ(out[1].line, 3u);
+  EXPECT_EQ(out[2].line, 4u);
+}
+
+TEST(SchedHookTest, IgnoresNonCallsOtherTreesAndAllows) {
+  // A field named `post`, a local, and a free function are not queue
+  // pushes; harness trees are out of scope; allows suppress.
+  const SourceFile inside = make("src/proto/replica.cpp",
+                                 "int post = 1;\n"
+                                 "int y = obj.post;\n"
+                                 "int z = post + 2;\n"
+                                 "// mocc-lint: allow(sched-hook): harness loop\n"
+                                 "void g(Sim& s) { s.schedule_call(1, [] {}); }\n");
+  std::vector<Diagnostic> out;
+  check_sched_hook(test_config(), inside, out);
+  EXPECT_TRUE(out.empty());
+
+  const SourceFile outside =
+      make("src/sim/simulator.cpp", "void h(Sim& s) { s.schedule_call(1, [] {}); }\n");
+  check_sched_hook(test_config(), outside, out);
+  EXPECT_TRUE(out.empty());
 }
 
 // --- guarded-by -------------------------------------------------------

@@ -321,6 +321,7 @@ Config Config::repo_default() {
                             {"abcast", "src/abcast/"},
                             {"protocols", "src/protocols/"}};
   config.production_paths = {"src/", "bench/"};
+  config.sched_hook_paths = {"src/abcast/", "src/protocols/", "src/fault/"};
   config.registry_path = "src/sim/wire_kinds.hpp";
   config.trace_header_path = "src/obs/trace.hpp";
   config.trace_source_path = "src/obs/trace.cpp";
@@ -343,6 +344,10 @@ bool Config::in_deterministic_subtree(std::string_view path) const {
 
 bool Config::in_production_tree(std::string_view path) const {
   return has_prefix_in(path, production_paths);
+}
+
+bool Config::in_sched_hook_tree(std::string_view path) const {
+  return has_prefix_in(path, sched_hook_paths);
 }
 
 }  // namespace mocc::lint

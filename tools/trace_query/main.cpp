@@ -45,7 +45,10 @@ void print_usage(const std::string& program) {
             << "  --audit [FILE]     rebuild the history from the trace and run\n"
             << "                     the fast checker; with no FILE, run the\n"
             << "                     in-process selftest sweep\n"
-            << "  --condition=NAME   mlin (default) | msc | mnorm, for --audit\n";
+            << "  --condition=NAME   mlin (default) | msc | mnorm, for --audit\n"
+            << "  --exact-budget=N   state budget for the exact checker when the\n"
+            << "                     trace carries no abcast order (2PL runs);\n"
+            << "                     0 skips it (default 1000000)\n";
 }
 
 std::optional<Condition> parse_condition(const std::string& name) {
@@ -139,13 +142,15 @@ int run_perfetto(const TraceFile& trace, const std::string& out_path) {
   return 0;
 }
 
-int run_audit_file(const TraceFile& trace, Condition condition) {
+int run_audit_file(const TraceFile& trace, Condition condition,
+                   std::uint64_t exact_budget) {
   int exit_code = 0;
   if (refuse_truncated(trace, /*require_header=*/true, &exit_code)) return exit_code;
   Forest forest;
   std::string error;
   if (!mocc::obs::build_forest(trace, &forest, &error)) return fail(error);
-  const mocc::obs::TraceAudit audit = mocc::obs::audit_from_trace(trace, condition);
+  const mocc::obs::TraceAudit audit =
+      mocc::obs::audit_from_trace(trace, condition, exact_budget);
   std::cout << "audit: " << audit.mops << " m-operations rebuilt from trace: "
             << audit.detail << "\n";
   return audit.ok ? 0 : 1;
@@ -296,6 +301,8 @@ int main(int argc, char** argv) {
   const std::string audit = args.get_string("audit", "");
   const std::string perfetto = args.get_string("perfetto", "");
   const std::string condition_name = args.get_string("condition", "mlin");
+  const auto exact_budget =
+      static_cast<std::uint64_t>(args.get_int("exact-budget", 1'000'000));
   const auto unused = args.unused();
   if (!unused.empty()) {
     return fail("unknown flag --" + unused.front() + " (try --help)");
@@ -319,7 +326,7 @@ int main(int argc, char** argv) {
   TraceFile trace;
   std::string error;
   if (!load_file(input, &trace, &error)) return fail(error);
-  if (!audit.empty()) return run_audit_file(trace, *condition);
+  if (!audit.empty()) return run_audit_file(trace, *condition, exact_budget);
   if (!perfetto.empty()) return run_perfetto(trace, perfetto);
   return run_report(trace);
 }
