@@ -1,0 +1,78 @@
+// E9 — Hot-path batching: messages-per-update vs batch size.
+//
+// The sequencer group-commit assigns one contiguous position block per
+// batch and fans the whole batch out as ONE frame; link-level coalescing
+// packs multiple wire messages per reliable-link frame on top. This
+// sweep measures the collapse against the unbatched baseline on the
+// same lockstep update-only workload: msg_per_op falls from ~n toward
+// 1 + (n-1)/B while audit_ok must stay 1 — batching moves the price,
+// never the guarantees. u_mean shows the latency side of the trade
+// (the bounded flush wait).
+//
+// Counters: u_mean, u_p99, msg_per_op, bytes_per_op, tput,
+// batch_assigns, batch_flushes, audit_ok.
+#include "common.hpp"
+
+#include "obs/trace.hpp"
+
+namespace mocc::bench {
+namespace {
+
+void Batching(::benchmark::State& state, std::size_t batch, bool link_on) {
+  RunResult result;
+  obs::Registry batching;
+  for (auto _ : state) {
+    api::SystemConfig config;
+    config.protocol = "mseq";
+    config.broadcast = "sequencer";
+    config.delay = "constant";
+    config.num_processes = 16;
+    config.num_objects = 8;
+    config.seed = 77;
+    if (batch > 1) {
+      config.batching.abcast_batch_max = batch;
+      // Above the sequencer's 20-tick local-response lead, as in run_e9:
+      // its own update joins the round's foreign submissions.
+      config.batching.abcast_batch_age = 24;
+    }
+    if (link_on) {
+      config.reliable_link = true;
+      config.link.initial_rto = 40;  // above the 20-tick constant RTT
+      if (batch > 1) {
+        config.batching.link_batch_items = 4;
+        config.batching.link_batch_age = 3;
+      }
+    }
+    protocols::WorkloadParams params;
+    params.ops_per_process = 20;
+    params.update_ratio = 1.0;
+    params.footprint = 2;
+    obs::RingBufferSink sink(kSpanRingCapacity);
+    result = run_experiment(config, params, /*run_audit=*/true, &sink);
+    batching = obs::Registry();
+    register_batching_metrics(batching, sink);
+  }
+  set_run_counters(state, result);
+  export_metrics(state, batching);
+}
+
+void register_all() {
+  for (const bool link_on : {false, true}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{16}}) {
+      auto* b = ::benchmark::RegisterBenchmark(
+          (std::string("E9/batching/") + (link_on ? "link" : "raw") + "/batch" +
+           std::to_string(batch))
+              .c_str(),
+          [batch, link_on](::benchmark::State& state) {
+            Batching(state, batch, link_on);
+          });
+      b->Iterations(1)->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace mocc::bench

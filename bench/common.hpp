@@ -1,4 +1,4 @@
-// Shared helpers for the google-benchmark experiment binaries (E1-E8).
+// Shared helpers for the google-benchmark experiment binaries (E1-E9).
 //
 // The experiment configurations, run helpers, and metric definitions
 // live in experiments.{hpp,cpp} (shared with the bench_report artifact

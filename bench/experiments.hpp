@@ -1,4 +1,4 @@
-// Experiment suite E1-E8 as a library: shared run helpers, the metrics
+// Experiment suite E1-E9 as a library: shared run helpers, the metrics
 // each experiment registers (through obs::Registry), and the
 // machine-readable record schema behind BENCH_results.json.
 //
@@ -38,13 +38,14 @@ inline constexpr int kBenchSchemaVersion = 1;
 /// Additive schema revisions: the header gains a "schema_minor" field
 /// carrying the HIGHEST revision whose metric names actually appear in
 /// the record set. Minor 1 is E8's fault/link metrics; minor 2 is the
-/// span phase-breakdown series (--spans). Artifacts using neither
-/// serialize exactly as minor 0 did, and E8 artifacts without span
-/// metrics still say 1, so every pre-existing fixed-seed golden stays
-/// byte-identical.
+/// span phase-breakdown series (--spans); minor 3 is E9's batch-size
+/// series. Artifacts using none serialize exactly as minor 0 did, and
+/// E8 artifacts without span metrics still say 1, so every pre-existing
+/// fixed-seed golden stays byte-identical.
 inline constexpr int kBenchSchemaMinorFaults = 1;
 inline constexpr int kBenchSchemaMinorSpans = 2;
-inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorSpans;
+inline constexpr int kBenchSchemaMinorBatching = 3;
+inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorBatching;
 
 /// Latency histogram shape shared by every experiment: virtual-tick
 /// latencies land in [0, 4096) at 4-tick resolution, which covers every
@@ -127,6 +128,16 @@ void register_span_metrics(obs::Registry& registry,
                            const obs::RingBufferSink& sink,
                            const RunResult& result);
 
+/// Batching series for E9 records (schema minor 3), read off the run's
+/// batch_assign / batch_flush trace events: histograms
+/// `batch_assign_size` (updates per sequencer position block) and
+/// `batch_flush_items` (items per flushed frame, all batching layers)
+/// plus counters `batch_assigns` / `batch_flushes`. Registered even for
+/// the unbatched baseline (explicit zero counts, not absent keys) so
+/// every E9 record shares one schema.
+void register_batching_metrics(obs::Registry& registry,
+                               const obs::RingBufferSink& sink);
+
 /// One row of BENCH_results.json: a named configuration point of one
 /// experiment plus everything measured there.
 struct ExperimentRecord {
@@ -144,7 +155,7 @@ struct SuiteOptions {
   /// Reduced sweeps (CI-sized: seconds, not minutes). Every experiment
   /// still contributes records; only the grid shrinks.
   bool smoke = false;
-  /// Subset of {"E1",..,"E8"}; empty = all.
+  /// Subset of {"E1",..,"E9"}; empty = all.
   std::vector<std::string> only;
   /// Collect causal spans on the latency experiments (E1, E2, E8) and
   /// register the phase-breakdown series (schema minor 2). Off by
@@ -166,6 +177,11 @@ std::vector<ExperimentRecord> run_e7(const SuiteOptions& options);
 /// reliable-link stack swept over drop rates, against a fault-free
 /// baseline with the link detached.
 std::vector<ExperimentRecord> run_e8(const SuiteOptions& options);
+/// E9: hot-path batching — sequencer group-commit swept over batch
+/// sizes (plus link-level coalescing on the "link" stack) against the
+/// unbatched baseline, measuring the messages-per-update collapse and
+/// the latency cost of the flush triggers. Audits run at every point.
+std::vector<ExperimentRecord> run_e9(const SuiteOptions& options);
 
 /// Runs every selected experiment in order. Deterministic: same options
 /// → identical records.

@@ -1,4 +1,4 @@
-// bench_report — runs the E1-E8 experiment suite and writes the
+// bench_report — runs the E1-E9 experiment suite and writes the
 // machine-readable BENCH_results.json artifact (schema in
 // docs/observability.md). tools/run_bench.sh is the packaged entry
 // point; invoke this directly for finer control:
@@ -40,7 +40,7 @@ void print_usage(const char* program) {
             << "  --out=PATH       artifact path (default BENCH_results.json)\n"
             << "  --print          also render per-experiment tables to stdout\n"
             << "  --trace=PATH     write a demo JSONL span trace\n"
-            << "  --spans          collect causal spans on E1/E2/E8 and add the\n"
+            << "  --spans          collect causal spans on E1/E2/E8/E9 and add the\n"
             << "                   phase-breakdown metrics (schema_minor 2)\n";
 }
 
@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   for (const auto& name : options.only) {
-    static const std::vector<std::string> known = {"E1", "E2", "E3", "E4",
-                                                   "E5", "E6", "E7", "E8"};
+    static const std::vector<std::string> known = {"E1", "E2", "E3", "E4", "E5",
+                                                   "E6", "E7", "E8", "E9"};
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      std::cerr << "unknown experiment '" << name << "' (expected E1..E8)\n";
+      std::cerr << "unknown experiment '" << name << "' (expected E1..E9)\n";
       return 2;
     }
   }

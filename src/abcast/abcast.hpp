@@ -63,6 +63,15 @@ class AtomicBroadcast {
   /// Consumes abcast-layer messages; returns false for foreign kinds.
   virtual bool on_message(sim::Context& ctx, const sim::Message& message) = 0;
 
+  /// Consumes abcast-layer timers (batch flush deadlines); returns false
+  /// for foreign timer ids. Hosts forward timers the reliable link did
+  /// not claim here before their own handler.
+  virtual bool on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+    return false;
+  }
+
   virtual std::string name() const = 0;
 
   /// Routes every network send through `link` (not owned; the hosting

@@ -6,6 +6,15 @@
 
 namespace mocc::abcast {
 
+SequencerAbcast::SequencerAbcast(Options options) : options_(options) {
+  MOCC_ASSERT_MSG(options_.batch_max >= 1, "batch_max 0 makes no batches");
+  MOCC_ASSERT_MSG(options_.batch_max == 1 || options_.batch_age >= 1,
+                  "group commit needs an age trigger to keep partial "
+                  "batches live");
+  MOCC_ASSERT_MSG(!(options_.mutate_swap_first_two && options_.batch_max > 1),
+                  "seq-swap mutation targets the unbatched wire path");
+}
+
 void SequencerAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> payload) {
   if (ctx.self() == kSequencerNode) {
     sequence_and_fan_out(ctx, ctx.self(), payload);
@@ -21,6 +30,20 @@ void SequencerAbcast::broadcast(sim::Context& ctx, std::vector<std::uint8_t> pay
 void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin,
                                            const std::vector<std::uint8_t>& payload) {
   MOCC_ASSERT(ctx.self() == kSequencerNode);
+  if (options_.batch_max > 1) {
+    // Group commit: park the submission; positions are assigned to the
+    // whole batch at flush time, in this arrival order.
+    const bool was_empty = batch_.empty();
+    batch_.push_back(
+        BatchItem{origin, payload, ctx.trace_context(), ctx.now()});
+    if (batch_.size() >= options_.batch_max) {
+      flush_batch(ctx, /*trigger=*/0);
+    } else if (was_empty) {
+      batch_deadline_ = ctx.now() + options_.batch_age;
+      ctx.set_timer(options_.batch_age, kBatchTimerId);
+    }
+    return;
+  }
   const std::uint64_t seq = next_seq_to_assign_++;
   // mocc-check mutation: mislabel the first two fan-outs (0 <-> 1) while
   // the local accept below keeps the true position — receivers apply the
@@ -33,13 +56,60 @@ void SequencerAbcast::sequence_and_fan_out(sim::Context& ctx, sim::NodeId origin
   out.put_string(std::string(payload.begin(), payload.end()));
   send_to_others(ctx, kDeliver, out.bytes());
   // Local delivery without a network hop.
-  accept(ctx, seq, origin, payload);
+  accept(ctx, seq, origin, payload, ctx.now());
+}
+
+void SequencerAbcast::flush_batch(sim::Context& ctx, std::uint32_t trigger) {
+  MOCC_ASSERT(ctx.self() == kSequencerNode);
+  if (batch_.empty()) return;  // stale age timer; nothing pending
+  // Swap out before processing: deliver_ below may broadcast, enqueuing
+  // into a fresh batch while this one is mid-flush.
+  std::vector<BatchItem> batch;
+  batch.swap(batch_);
+  const std::uint64_t first = next_seq_to_assign_;
+  next_seq_to_assign_ += batch.size();
+
+  util::ByteWriter out;
+  out.put_u64(first);
+  out.put_u32(static_cast<std::uint32_t>(batch.size()));
+  for (const BatchItem& item : batch) {
+    out.put_u32(item.origin);
+    out.put_string(std::string(item.payload.begin(), item.payload.end()));
+  }
+  if (auto* sink = ctx.trace_sink()) {
+    sink->on_event({obs::TraceEventType::kBatchAssign, ctx.now(), ctx.self(), 0,
+                    trigger, first, batch.size()});
+    sink->on_event({obs::TraceEventType::kBatchFlush, ctx.now(), ctx.self(), 0,
+                    trigger, out.size(), batch.size()});
+  }
+  // The frame rides the first item's context (the batch carrier); local
+  // deliveries below restore each item's own context first.
+  const obs::SpanContext outer = ctx.trace_context();
+  ctx.set_trace_context(batch.front().trace);
+  send_to_others(ctx, kDeliverBatch, out.bytes());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ctx.set_trace_context(batch[i].trace);
+    accept(ctx, first + i, batch[i].origin, std::move(batch[i].payload),
+           batch[i].seen_at);
+  }
+  ctx.set_trace_context(outer);
+}
+
+bool SequencerAbcast::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  if (timer_id != kBatchTimerId) return false;
+  // One timer is armed per empty->nonempty transition; a size flush in
+  // between makes this firing stale (the live batch armed a fresh timer
+  // for its own, later deadline).
+  if (!batch_.empty() && ctx.now() >= batch_deadline_) {
+    flush_batch(ctx, /*trigger=*/1);
+  }
+  return true;
 }
 
 void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId origin,
-                             std::vector<std::uint8_t> payload) {
+                             std::vector<std::uint8_t> payload, sim::SimTime seen_at) {
   pending_[seq] =
-      PendingDelivery{origin, std::move(payload), ctx.trace_context(), ctx.now()};
+      PendingDelivery{origin, std::move(payload), ctx.trace_context(), seen_at};
   // Each delivery re-roots the trace context at its abcast_agree span
   // (first sighting here -> agreed-position delivery); restore between
   // iterations so gap-fill deliveries keep their own contexts.
@@ -53,7 +123,7 @@ void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId o
     const sim::NodeId msg_origin = it->second.origin;
     const std::vector<std::uint8_t> msg_payload = std::move(it->second.payload);
     const obs::SpanContext msg_trace = it->second.trace;
-    const sim::SimTime seen_at = it->second.seen_at;
+    const sim::SimTime msg_seen_at = it->second.seen_at;
     pending_.erase(it);
     const std::uint64_t seq_pos = next_seq_to_deliver_++;
     if (auto* sink = ctx.trace_sink()) {
@@ -65,7 +135,7 @@ void SequencerAbcast::accept(sim::Context& ctx, std::uint64_t seq, sim::NodeId o
         agree.trace_id = msg_trace.trace_id;
         agree.span_id = ctx.new_span_id();
         agree.parent_span = msg_trace.span_id;
-        agree.begin = seen_at;
+        agree.begin = msg_seen_at;
         agree.end = ctx.now();
         agree.node = ctx.self();
         agree.peer = msg_origin;
@@ -96,7 +166,20 @@ bool SequencerAbcast::on_message(sim::Context& ctx, const sim::Message& message)
     const sim::NodeId origin = in.get_u32();
     const std::string payload = in.get_string();
     accept(ctx, seq, origin,
-           std::vector<std::uint8_t>(payload.begin(), payload.end()));
+           std::vector<std::uint8_t>(payload.begin(), payload.end()), ctx.now());
+    return true;
+  }
+  if (message.kind == kDeliverBatch) {
+    util::ByteReader in(message.payload);
+    const std::uint64_t first = in.get_u64();
+    const std::uint32_t count = in.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const sim::NodeId origin = in.get_u32();
+      const std::string payload = in.get_string();
+      accept(ctx, first + i, origin,
+             std::vector<std::uint8_t>(payload.begin(), payload.end()),
+             ctx.now());
+    }
     return true;
   }
   return false;

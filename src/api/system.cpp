@@ -61,10 +61,25 @@ System::System(const SystemConfig& config) : config_(config) {
                   "unknown protocol (mseq|mlin|mlin-narrow|mlin-bcastq|locking|"
                   "aggregate)");
 
+  MOCC_ASSERT_MSG(config.batching.abcast_batch_max <= 1 ||
+                      config.broadcast == "sequencer",
+                  "abcast batching is a sequencer group-commit — requires "
+                  "broadcast=\"sequencer\"");
+  MOCC_ASSERT_MSG(config.batching.abcast_batch_max <= 1 || !mutate_seq_swap,
+                  "seq-swap mutation targets the unbatched fan-out path");
+  MOCC_ASSERT_MSG(config.batching.link_batch_items <= 1 || config.reliable_link,
+                  "link coalescing lives in the reliable link — enable it");
+
   const auto make_abcast = [&]() -> std::unique_ptr<abcast::AtomicBroadcast> {
     if (mutate_seq_swap) {
       abcast::SequencerAbcast::Options options;
       options.mutate_swap_first_two = true;
+      return std::make_unique<abcast::SequencerAbcast>(options);
+    }
+    if (config.batching.abcast_batch_max > 1) {
+      abcast::SequencerAbcast::Options options;
+      options.batch_max = config.batching.abcast_batch_max;
+      options.batch_age = config.batching.abcast_batch_age;
       return std::make_unique<abcast::SequencerAbcast>(options);
     }
     return abcast::make_abcast_factory(config.broadcast)();
@@ -81,6 +96,7 @@ System::System(const SystemConfig& config) : config_(config) {
     } else if (is_mlin || is_mlin_narrow) {
       protocols::MLinReplica::Options options;
       options.narrow_replies = is_mlin_narrow || config.narrow_replies;
+      options.batch_queries = config.batching.batch_queries;
       options.mutate_skip_first_foreign = mutate_skip_delivery && p == 1;
       replica = std::make_unique<protocols::MLinReplica>(
           config.num_objects, make_abcast(), *recorder_, options);
@@ -92,7 +108,11 @@ System::System(const SystemConfig& config) : config_(config) {
           config.num_objects, config.num_processes, *recorder_, options);
     }
     if (config.reliable_link) {
-      auto link = std::make_unique<fault::ReliableLink>(config.link);
+      fault::ReliableLink::Options link_options = config.link;
+      link_options.coalesce_max_items = config.batching.link_batch_items;
+      link_options.coalesce_max_bytes = config.batching.link_batch_bytes;
+      link_options.coalesce_max_age = config.batching.link_batch_age;
+      auto link = std::make_unique<fault::ReliableLink>(link_options);
       link->set_shared_stats(&link_stats_);
       replica->set_reliable_link(std::move(link));
     }

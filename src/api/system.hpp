@@ -61,6 +61,34 @@ struct SystemConfig {
   /// reliable link. Off by default: the paper assumes reliable channels.
   bool reliable_link = false;
   fault::ReliableLink::Options link;
+  /// Hot-path batching & pipelining (docs/batching.md). Every knob
+  /// defaults to "off" (batch of one), which keeps the wire behavior —
+  /// and therefore every golden trace — byte-identical to an unbatched
+  /// build. Order guarantees (per-sender FIFO, agreed total order) hold
+  /// at any setting; batching trades latency for message count.
+  struct BatchingConfig {
+    /// Sequencer group-commit: assign a contiguous position block to up
+    /// to this many pending updates per round (1 = off). Requires
+    /// broadcast == "sequencer" when > 1.
+    std::size_t abcast_batch_max = 1;
+    /// Virtual-time age bound before a partial sequencer batch flushes.
+    sim::SimTime abcast_batch_age = 8;
+    /// Link-level coalescing: per-destination queue flushed at this many
+    /// items (1 = off; needs reliable_link).
+    std::size_t link_batch_items = 1;
+    /// Byte-based flush threshold for the coalescing queue (0 = none).
+    std::size_t link_batch_bytes = 0;
+    /// Virtual-time age bound before a partial coalescing queue flushes.
+    sim::SimTime link_batch_age = 4;
+    /// mlin query fan-out batching: serialize queries into shared rounds
+    /// (applies to the mlin / mlin-narrow protocols).
+    bool batch_queries = false;
+
+    bool any_enabled() const {
+      return abcast_batch_max > 1 || link_batch_items > 1 || batch_queries;
+    }
+  };
+  BatchingConfig batching;
   /// Deliberate protocol mutation, for validating that the mocc-check
   /// explorer (src/check) actually catches broken protocols. Empty — the
   /// default — is the correct protocol. Accepted values:

@@ -319,15 +319,7 @@ ExploreResult Explorer::run_all() {
     ++stats_.runs_total;
     reset_run_state();
 
-    api::SystemConfig config;
-    config.num_processes = cfg_.num_processes;
-    config.num_objects = cfg_.num_objects;
-    config.protocol = cfg_.protocol;
-    config.broadcast = cfg_.broadcast;
-    config.mutation = cfg_.mutation;
-    config.delay = "constant";  // never sampled in controlled mode
-    config.seed = 1;
-    api::System system(config);
+    api::System system(system_config_for(cfg_));
     system.set_schedule_controller(this);
 
     const auto workload = fixed_workload(cfg_);
@@ -469,6 +461,33 @@ ScheduleVerdict check_terminal_schedule(const api::System& system,
     verdict.history_level = true;
   }
   return verdict;
+}
+
+api::SystemConfig system_config_for(const ExploreConfig& config) {
+  api::SystemConfig out;
+  out.num_processes = config.num_processes;
+  out.num_objects = config.num_objects;
+  out.protocol = config.protocol;
+  out.broadcast = config.broadcast;
+  out.mutation = config.mutation;
+  out.delay = "constant";  // never sampled in controlled mode
+  out.seed = 1;
+  if (config.batching) {
+    const bool uses_abcast =
+        config.protocol != "locking" && config.protocol != "aggregate";
+    if (uses_abcast && config.broadcast == "sequencer") {
+      // Small enough that both flush paths land in the schedule space:
+      // size flushes when two submissions race, age flushes (the timer
+      // is an internal event, dispatched before delivery choices) when
+      // one waits alone.
+      out.batching.abcast_batch_max = 2;
+      out.batching.abcast_batch_age = 6;
+    }
+    if (config.protocol.rfind("mlin", 0) == 0) {
+      out.batching.batch_queries = true;
+    }
+  }
+  return out;
 }
 
 ExploreResult explore(const ExploreConfig& config) {

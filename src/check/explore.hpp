@@ -47,6 +47,7 @@
 
 namespace mocc::api {
 class System;
+struct SystemConfig;
 }
 
 namespace mocc::check {
@@ -66,6 +67,12 @@ struct ExploreConfig {
   /// Protocol mutation under test (api::SystemConfig::mutation); empty =
   /// the correct protocol.
   std::string mutation;
+  /// Explore with the hot-path batching layer on: sequencer group-commit
+  /// (abcast protocols under the sequencer broadcast) and mlin query
+  /// rounds. Small thresholds so both size and age flushes appear in the
+  /// schedule space. Link coalescing stays out of scope — the reliable
+  /// link is off in every controlled-mode run.
+  bool batching = false;
 
   // --- Budgets (exact explored/pruned counts are reported either way).
   /// Maximum number of re-executions (complete=false when hit; 0 = none).
@@ -156,6 +163,11 @@ struct ExploreResult {
 /// (processes/objects <= 5, ops <= 8): the tool is a verifier for
 /// small-scope configs, not a load generator.
 ExploreResult explore(const ExploreConfig& config);
+
+/// The controlled-mode SystemConfig a scope runs under — shared by the
+/// explorer and by replay so a counterexample re-executes the exact
+/// system its schedule condemned (including the batching knobs).
+api::SystemConfig system_config_for(const ExploreConfig& config);
 
 /// The fixed per-process programs explored for a config: a deterministic
 /// mix of single-object RMWs (fetch_add), multi-object updates

@@ -102,6 +102,9 @@ std::string format_counterexample(const Counterexample& counterexample) {
   out << "objects " << config.num_objects << "\n";
   out << "ops " << config.ops_per_process << "\n";
   out << "exact-budget " << config.exact_states_budget << "\n";
+  // Emitted only when on: unbatched files stay byte-identical to v1
+  // writers, and v1 readers of unbatched files keep working.
+  if (config.batching) out << "batching 1\n";
   out << "reason "
       << (counterexample.reason.empty() ? "-" : single_line(counterexample.reason))
       << "\n";
@@ -158,6 +161,10 @@ bool parse_counterexample(const std::string& text, Counterexample& out,
         return false;
       }
       out.config.mutation = value == "-" ? std::string{} : value;
+    } else if (key == "batching") {
+      std::uint64_t value = 0;
+      if (!parse_u64(fields, key, value, error)) return false;
+      out.config.batching = value != 0;
     } else if (key == "processes" || key == "objects" || key == "ops" ||
                key == "exact-budget" || key == "choices") {
       std::uint64_t value = 0;
@@ -226,15 +233,7 @@ ReplayResult replay(const Counterexample& counterexample,
   ReplayResult result;
   const ExploreConfig& cfg = counterexample.config;
 
-  api::SystemConfig config;
-  config.num_processes = cfg.num_processes;
-  config.num_objects = cfg.num_objects;
-  config.protocol = cfg.protocol;
-  config.broadcast = cfg.broadcast;
-  config.mutation = cfg.mutation;
-  config.delay = "constant";  // never sampled in controlled mode
-  config.seed = 1;
-  api::System system(config);
+  api::System system(system_config_for(cfg));
   if (trace_sink != nullptr) system.set_trace_sink(trace_sink);
 
   FixedScheduleController controller(counterexample.choices);

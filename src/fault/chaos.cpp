@@ -49,6 +49,21 @@ std::string run_one(const ChaosParams& params, const std::string& protocol,
   config.faults.default_link.duplicate_rate = params.duplicate_rate;
   config.faults.default_link.delay_spike_rate = params.delay_spike_rate;
   config.faults.default_link.delay_spike = params.delay_spike;
+  if (params.batching) {
+    // Group-commit is a sequencer-only feature; coalescing and query
+    // rounds apply wherever the layer below exists. Small thresholds and
+    // short ages so both size and age flushes fire under faults.
+    if (broadcast == "sequencer" && protocol != "locking" &&
+        protocol != "aggregate") {
+      config.batching.abcast_batch_max = 4;
+      config.batching.abcast_batch_age = 6;
+    }
+    config.batching.link_batch_items = 3;
+    config.batching.link_batch_age = 3;
+    if (protocol == "mlin" || protocol == "mlin-narrow") {
+      config.batching.batch_queries = true;
+    }
+  }
   if (params.partition && params.num_processes >= 2) {
     // One partition/heal cycle isolating node 0. The reliable link's
     // backoff horizon (sum of the retransmit schedule) comfortably
@@ -152,8 +167,9 @@ ChaosParams smoke_params() {
 
 void write_report(std::ostream& out, const ChaosParams& params,
                   const ChaosReport& report) {
-  out << "chaos sweep: " << report.runs << " executions, " << report.passed
-      << " passed, " << report.failures.size() << " failed\n";
+  out << "chaos sweep" << (params.batching ? " (batching on)" : "") << ": "
+      << report.runs << " executions, " << report.passed << " passed, "
+      << report.failures.size() << " failed\n";
   out << "  faults: drops=" << report.faults.drops
       << " duplicates=" << report.faults.duplicates
       << " delay_spikes=" << report.faults.delay_spikes
@@ -163,7 +179,6 @@ void write_report(std::ostream& out, const ChaosParams& params,
       << " acks=" << report.link.acks_sent
       << " dedup=" << report.link.duplicates_suppressed
       << " exhausted=" << report.link.exhausted << "\n";
-  (void)params;
   for (const ChaosFailure& failure : report.failures) {
     out << "  FAIL " << failure.protocol;
     if (!failure.broadcast.empty()) out << "/" << failure.broadcast;

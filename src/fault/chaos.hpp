@@ -47,6 +47,12 @@ struct ChaosParams {
   std::uint64_t partition_start = 300;
   std::uint64_t partition_heal = 900;
 
+  /// Run the sweep with the hot-path batching layer on: sequencer
+  /// group-commit (sequencer-broadcast cells only), link coalescing, and
+  /// mlin query rounds. Exercises batch framing against drops,
+  /// duplicates, and partitions with the same checkers.
+  bool batching = false;
+
   std::size_t num_processes = 3;
   std::size_t num_objects = 6;
   /// m-operations per process. Locking runs get min(this, 4) to keep the

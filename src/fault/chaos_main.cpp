@@ -1,7 +1,7 @@
 // Chaos harness CLI (driven by tools/run_chaos.sh).
 //
 //   chaos [--smoke] [--seeds N] [--ops N] [--drop R[,R...]] [--dup R]
-//         [--protocols a,b,...] [--no-partition] [--base-seed N]
+//         [--protocols a,b,...] [--no-partition] [--base-seed N] [--batch]
 //
 // Exit status: 0 when every execution passed its checker, 1 otherwise.
 #include <cstdint>
@@ -60,10 +60,12 @@ int main(int argc, char** argv) {
       params.partition = false;
     } else if (arg == "--base-seed") {
       params.base_seed = std::stoull(next());
+    } else if (arg == "--batch") {
+      params.batching = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chaos [--smoke] [--seeds N] [--ops N] [--drop R,R,...]\n"
                 << "             [--dup R] [--protocols a,b,...] [--no-partition]\n"
-                << "             [--base-seed N]\n";
+                << "             [--base-seed N] [--batch]\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

@@ -20,11 +20,28 @@
 // remains the job of the layers above (atomic broadcast / protocol
 // logic), exactly as in the fault-free stack.
 //
-// Wire format (kinds 50 and 51, reserved range [50, 99]):
-//   kLinkData: u64 link-seq | u32 inner kind | inner payload bytes
-//   kLinkAck:  u64 link-seq
+// Wire format (kinds 50, 51 and 52, reserved range [50, 99]):
+//   kLinkData:      u64 link-seq | u32 inner kind | inner payload bytes
+//   kLinkAck:       u64 link-seq
+//   kLinkBatchData: u64 link-seq | u32 item count |
+//                   count x (u32 inner kind | length-prefixed payload)
 // Retransmit timers use ids tagged with kLinkTimerTag so they can share
 // an actor's timer namespace; hosts forward unrecognized timers here.
+//
+// Message coalescing (docs/batching.md; the itemized-queue / flush-
+// trigger design of cortx-motr's rpc formation): with
+// Options::coalesce_max_items > 1 each send() parks its message on a
+// per-destination queue instead of transmitting. The queue flushes into
+// ONE kLinkBatchData frame — one link sequence number, one ack, whole-
+// frame retransmission — when it reaches coalesce_max_items items or
+// coalesce_max_bytes queued payload bytes (size trigger), or when its
+// oldest item ages past coalesce_max_age ticks (age trigger, bit-61
+// flush timers inside the bit-62 link timer space). The delivery
+// contract is unchanged: exactly once, frames in network-arrival order
+// (a retransmitted frame can overtake a later one, batched or not), and
+// items inside one frame unwrap upward in enqueue order. End-to-end
+// FIFO / total order stays the job of the abcast layer above, exactly
+// as for singleton frames.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +62,16 @@ namespace mocc::fault {
 inline constexpr std::uint32_t kLinkKindFirst = sim::wire::kReliableLinkFirst;
 inline constexpr std::uint32_t kLinkData = sim::wire::reliable_link_kind(0);
 inline constexpr std::uint32_t kLinkAck = sim::wire::reliable_link_kind(1);
+/// Coalesced frame: several application messages under one link seq.
+inline constexpr std::uint32_t kLinkBatchData = sim::wire::reliable_link_kind(2);
 inline constexpr std::uint32_t kLinkKindLast = sim::wire::kReliableLinkLast;
 
 /// High-bit tag distinguishing link retransmit timers from host timers.
 inline constexpr std::uint64_t kLinkTimerTag = 1ULL << 62;
+/// Second tag (inside the bit-62 link space) marking coalescing flush
+/// timers; the low bits carry the destination node. Retransmit tokens
+/// never reach bit 61, so the two link timer families cannot collide.
+inline constexpr std::uint64_t kLinkFlushTimerBit = 1ULL << 61;
 
 /// Counters for one link endpoint (or, via a shared sink, a whole
 /// system — see set_shared_stats).
@@ -83,6 +106,15 @@ class ReliableLink {
     double backoff = 2.0;           ///< rto multiplier per retry
     sim::SimTime max_rto = 1024;    ///< backoff cap
     std::uint32_t max_retransmits = 16;  ///< resends beyond the original
+    /// Message coalescing: > 1 enables the itemized per-destination
+    /// queue; 1 (the default) transmits each send() immediately and
+    /// byte-identically to the pre-batching link.
+    std::size_t coalesce_max_items = 1;
+    /// Additional size trigger on queued payload bytes (0 = items only).
+    std::size_t coalesce_max_bytes = 0;
+    /// Age flush trigger for a partial queue, virtual-time ticks. Must
+    /// be >= 1 when coalescing — it is what keeps partial queues live.
+    sim::SimTime coalesce_max_age = 4;
   };
 
   /// Upward delivery: `message` is the reconstructed application message
@@ -104,9 +136,18 @@ class ReliableLink {
   /// callback before this returns.
   bool on_message(sim::Context& ctx, const sim::Message& message);
 
-  /// Consumes kLinkTimerTag-tagged retransmit timers; returns false for
-  /// foreign timer ids.
+  /// Consumes kLinkTimerTag-tagged retransmit and flush timers; returns
+  /// false for foreign timer ids.
   bool on_timer(sim::Context& ctx, std::uint64_t timer_id);
+
+  /// Transmits `to`'s coalescing queue now as one frame (no-op when the
+  /// queue is empty). Emitted with the drain trigger (2); size and age
+  /// flushes happen automatically.
+  void flush(sim::Context& ctx, sim::NodeId to);
+  /// Drains every destination's queue (ascending destination order).
+  void flush_all(sim::Context& ctx);
+  /// Messages parked on `to`'s coalescing queue, not yet framed.
+  std::size_t queued(sim::NodeId to) const;
 
   /// Sends still awaiting an ack (retry budget not yet exhausted).
   std::size_t in_flight() const { return pending_.size(); }
@@ -126,8 +167,10 @@ class ReliableLink {
   struct Pending {
     sim::NodeId to = 0;
     std::uint64_t seq = 0;
-    std::uint32_t kind = 0;            ///< inner kind (for reporting)
-    std::vector<std::uint8_t> frame;   ///< encoded kLinkData, resent as-is
+    std::uint32_t kind = 0;            ///< inner kind (for reporting;
+                                       ///< kLinkBatchData for coalesced frames)
+    std::uint32_t wire_kind = kLinkData;  ///< kind the frame is resent under
+    std::vector<std::uint8_t> frame;   ///< encoded frame, resent as-is
     sim::SimTime rto = 0;              ///< next backoff interval
     std::uint32_t attempts = 0;        ///< transmissions so far
     obs::SpanContext trace;            ///< re-rooted at each retransmit span
@@ -143,6 +186,27 @@ class ReliableLink {
 
   void bump(std::uint64_t LinkStats::* field);
 
+  /// One application message parked for coalescing. The first item's
+  /// context is the frame's carrier (docs/batching.md).
+  struct QueuedItem {
+    std::uint32_t kind = 0;
+    std::vector<std::uint8_t> payload;
+    obs::SpanContext trace;
+  };
+  struct CoalesceQueue {
+    std::vector<QueuedItem> items;
+    std::size_t payload_bytes = 0;
+    sim::SimTime deadline = 0;  ///< age timers firing earlier are stale
+  };
+
+  /// Registers `frame` (already encoded) as one reliably-delivered unit:
+  /// assigns the next per-destination seq, transmits, arms the
+  /// retransmit timer. Shared by the unbatched path and flushes.
+  void transmit_frame(sim::Context& ctx, sim::NodeId to, std::uint32_t wire_kind,
+                      std::uint32_t inner_kind, std::uint64_t seq,
+                      std::vector<std::uint8_t> frame);
+  void flush_queue(sim::Context& ctx, sim::NodeId to, std::uint32_t trigger);
+
   Options options_;
   DeliverFn deliver_;
   std::map<sim::NodeId, std::uint64_t> next_seq_;  ///< per destination, from 1
@@ -150,6 +214,7 @@ class ReliableLink {
   std::map<std::pair<sim::NodeId, std::uint64_t>, std::uint64_t> token_by_dest_;
   std::uint64_t next_token_ = 0;
   std::map<sim::NodeId, Inbound> inbound_;
+  std::map<sim::NodeId, CoalesceQueue> coalesce_;  ///< batching on only
   std::vector<FailedSend> failed_;
   LinkStats stats_;
   LinkStats* shared_ = nullptr;

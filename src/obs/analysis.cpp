@@ -162,7 +162,8 @@ const std::map<std::string, TraceEventType, std::less<>>& event_by_name() {
         TraceEventType::kFaultCrashDiscard, TraceEventType::kLinkRetransmit,
         TraceEventType::kLinkDuplicate,  TraceEventType::kLinkExhausted,
         TraceEventType::kOpRead,         TraceEventType::kOpWrite,
-        TraceEventType::kBacklogSample,
+        TraceEventType::kBacklogSample,  TraceEventType::kBatchAssign,
+        TraceEventType::kBatchFlush,
     };
     std::map<std::string, TraceEventType, std::less<>> map;
     for (const TraceEventType type : kAll) map.emplace(to_string(type), type);

@@ -25,6 +25,8 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kOpRead: return "op_read";
     case TraceEventType::kOpWrite: return "op_write";
     case TraceEventType::kBacklogSample: return "backlog_sample";
+    case TraceEventType::kBatchAssign: return "batch_assign";
+    case TraceEventType::kBatchFlush: return "batch_flush";
   }
   MOCC_ASSERT_MSG(false, "unknown trace event type");
   return "unknown";

@@ -87,6 +87,16 @@ enum class TraceEventType : std::uint8_t {
   /// configured interval. id=simulator event-queue depth,
   /// arg=reliable-link retransmit-buffer bytes across all nodes.
   kBacklogSample,
+  /// Sequencer group-commit: a contiguous position block assigned to a
+  /// batch of pending updates in one round. node=sequencer, id=first
+  /// position of the block, arg=block size (updates in the batch),
+  /// kind=flush trigger (0=size, 1=age, 2=drain).
+  kBatchAssign,
+  /// Batching-layer flush: a pending queue emitted as one frame.
+  /// node=sender, peer=destination (0 for broadcast batches), kind=flush
+  /// trigger (0=size/bytes, 1=age, 2=drain), id=frame payload bytes,
+  /// arg=items in the frame.
+  kBatchFlush,
 };
 
 /// Stable lowercase name used by the JSONL exporter ("message_send", ...).

@@ -7,6 +7,43 @@
 
 namespace mocc::protocols {
 
+namespace {
+
+/// (A5) for one reply: fold ⟨X, ts⟩ into the freshest-copy accumulator.
+/// Full replies (objects empty) rely on pointwise comparability and keep
+/// the larger copy whole; narrow replies take each object from the
+/// freshest copy seen and merge timestamps componentwise.
+void merge_reply(std::vector<core::Value>& oth_x, util::VersionVector& othts,
+                 std::vector<core::MOpId>& oth_writer,
+                 const std::vector<std::uint32_t>& objects,
+                 const util::VersionVector& ts,
+                 const std::vector<core::Value>& values,
+                 const std::vector<std::uint32_t>& writers,
+                 std::size_t num_objects) {
+  if (objects.empty()) {
+    MOCC_ASSERT_MSG(othts.comparable(ts),
+                    "replica timestamps not comparable — abcast order broken");
+    if (othts.pointwise_less(ts)) {
+      MOCC_ASSERT(values.size() == num_objects && writers.size() == num_objects);
+      oth_x = values;
+      othts = ts;
+      oth_writer = writers;
+    }
+  } else {
+    MOCC_ASSERT(values.size() == objects.size() && writers.size() == objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      const auto x = objects[i];
+      if (ts[x] > othts[x]) {
+        oth_x[x] = values[i];
+        oth_writer[x] = writers[i];
+      }
+    }
+    othts.merge_max(ts);
+  }
+}
+
+}  // namespace
+
 MLinReplica::MLinReplica(std::size_t num_objects,
                          std::unique_ptr<abcast::AtomicBroadcast> abcast,
                          ExecutionRecorder& recorder, Options options)
@@ -26,6 +63,7 @@ void MLinReplica::on_start(sim::Context& ctx) {
     on_deliver(live_ctx, origin, payload);
   });
   abcast_->set_reliable_link(reliable_link());
+  route_timers_to_abcast(abcast_.get());
   abcast_->on_start(ctx);
 }
 
@@ -54,6 +92,19 @@ void MLinReplica::invoke(sim::Context& ctx, mscript::Program program,
   query.on_response = std::move(on_response);
   query.invoke = invoke_time;
   query.trace = root;
+
+  if (options_.batch_queries) {
+    // Query rounds: join the waiting set; the round that serves this
+    // query opens strictly after this invocation, so the round's merged
+    // copy is fresh enough for it (header comment). The merged state
+    // lives at round level — this query's oth fields stay empty until
+    // complete_round hands the copy over.
+    pending_queries_[qid] = std::move(query);
+    waiting_.push_back(qid);
+    if (!round_active_) start_round(ctx);
+    return;
+  }
+
   query.oth_x = my_x_;
   query.othts = myts_;
   query.oth_writer = last_writer_;
@@ -113,9 +164,12 @@ void MLinReplica::on_deliver(sim::Context& ctx, sim::NodeId origin,
   }
 }
 
-void MLinReplica::on_query(sim::Context& ctx, const sim::Message& message) {
+void MLinReplica::on_query(sim::Context& ctx, const sim::Message& message,
+                           std::uint32_t resp_kind) {
   // (A4): reply with our copy and its timestamps (plus the last-writer
   // table, which exists for history recording, not for the protocol).
+  // Round requests (kQueryBatch) share the body layout — `qid` is then a
+  // round id and the reply goes back as resp_kind = kQueryRespBatch.
   util::ByteReader in(message.payload);
   const std::uint64_t qid = in.get_u64();
   const std::vector<std::uint32_t> objects = in.get_u32_vector();
@@ -140,7 +194,7 @@ void MLinReplica::on_query(sim::Context& ctx, const sim::Message& message) {
     out.put_i64_vector(values);
     out.put_u32_vector(writers);
   }
-  net_send(ctx, message.from, kQueryResp, out.take());
+  net_send(ctx, message.from, resp_kind, out.take());
 }
 
 void MLinReplica::on_query_response(sim::Context& ctx, const sim::Message& message) {
@@ -157,35 +211,105 @@ void MLinReplica::on_query_response(sim::Context& ctx, const sim::Message& messa
   MOCC_ASSERT_MSG(it != pending_queries_.end(), "query response for unknown query");
   PendingQuery& query = it->second;
 
-  if (objects.empty()) {
-    // (A5), literal: replicas driven by the same total order hold
-    // pointwise-comparable timestamps — keep the larger copy whole.
-    MOCC_ASSERT_MSG(query.othts.comparable(ts),
-                    "replica timestamps not comparable — abcast order broken");
-    if (query.othts.pointwise_less(ts)) {
-      MOCC_ASSERT(values.size() == num_objects_ && writers.size() == num_objects_);
-      query.oth_x = values;
-      query.othts = ts;
-      query.oth_writer = writers;
-    }
-  } else {
-    // Narrow replies (§5.2 closing remark): take each object from the
-    // freshest copy seen; merge timestamps componentwise for ts(finish).
-    MOCC_ASSERT(values.size() == objects.size() && writers.size() == objects.size());
-    for (std::size_t i = 0; i < objects.size(); ++i) {
-      const auto x = objects[i];
-      if (ts[x] > query.othts[x]) {
-        query.oth_x[x] = values[i];
-        query.oth_writer[x] = writers[i];
-      }
-    }
-    query.othts.merge_max(ts);
-  }
+  merge_reply(query.oth_x, query.othts, query.oth_writer, objects, ts, values,
+              writers, num_objects_);
 
   ++query.replies;
   if (query.replies == ctx.num_nodes() - 1) {
     finish_query(ctx, qid);
   }
+}
+
+void MLinReplica::start_round(sim::Context& ctx) {
+  MOCC_ASSERT(!round_active_ && !waiting_.empty());
+  round_active_ = true;
+  round_ = QueryRound{};
+  round_.id = next_round_id_++;
+  round_.qids.swap(waiting_);
+  // Seed the round's accumulator from the local copy *now* — the round
+  // opens after every member invoked, so this is fresh enough for all.
+  round_.oth_x = my_x_;
+  round_.othts = myts_;
+  round_.oth_writer = last_writer_;
+
+  if (options_.narrow_replies) {
+    // Footprint = union of the members' may_read sets. An empty union
+    // would be encoded as "whole store", so fall back to full replies in
+    // that (read-nothing) corner instead of widening the wire meaning.
+    std::vector<std::uint32_t> footprint;
+    for (const std::uint64_t qid : round_.qids) {
+      const auto& may_read = pending_queries_.at(qid).program.may_read();
+      footprint.insert(footprint.end(), may_read.begin(), may_read.end());
+    }
+    std::sort(footprint.begin(), footprint.end());
+    footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                    footprint.end());
+    round_.footprint = std::move(footprint);
+  }
+
+  util::ByteWriter out;
+  out.put_u64(round_.id);
+  out.put_u32_vector(round_.footprint);
+  const std::vector<std::uint8_t> frame = out.take();
+
+  if (auto* sink = ctx.trace_sink()) {
+    sink->on_event({obs::TraceEventType::kBatchFlush, ctx.now(), ctx.self(),
+                    /*peer=*/0, /*kind=*/2, frame.size(), round_.qids.size()});
+  }
+
+  if (ctx.num_nodes() == 1) {
+    complete_round(ctx);
+    return;
+  }
+
+  // The round's wire exchange carries the first member's trace context
+  // (carrier semantics, docs/batching.md); per-member spans are closed
+  // from each PendingQuery's own root at finish_query.
+  const obs::SpanContext outer = ctx.trace_context();
+  ctx.set_trace_context(pending_queries_.at(round_.qids.front()).trace);
+  net_send_to_others(ctx, kQueryBatch, frame);
+  ctx.set_trace_context(outer);
+}
+
+void MLinReplica::on_round_response(sim::Context& ctx, const sim::Message& message) {
+  util::ByteReader in(message.payload);
+  const std::uint64_t round_id = in.get_u64();
+  const std::vector<std::uint32_t> objects = in.get_u32_vector();
+  auto entries = in.get_u64_vector();
+  MOCC_ASSERT(entries.size() == num_objects_);
+  const util::VersionVector ts = util::VersionVector::from_entries(std::move(entries));
+  const std::vector<core::Value> values = in.get_i64_vector();
+  const std::vector<std::uint32_t> writers = in.get_u32_vector();
+
+  MOCC_ASSERT_MSG(round_active_ && round_id == round_.id,
+                  "round response for a round that is not in flight");
+  merge_reply(round_.oth_x, round_.othts, round_.oth_writer, objects, ts, values,
+              writers, num_objects_);
+
+  ++round_.replies;
+  if (round_.replies == ctx.num_nodes() - 1) {
+    complete_round(ctx);
+  }
+}
+
+void MLinReplica::complete_round(sim::Context& ctx) {
+  MOCC_ASSERT(round_active_);
+  QueryRound round = std::move(round_);
+  round_ = QueryRound{};
+
+  for (const std::uint64_t qid : round.qids) {
+    PendingQuery& query = pending_queries_.at(qid);
+    query.oth_x = round.oth_x;
+    query.othts = round.othts;
+    query.oth_writer = round.oth_writer;
+    // finish_query's on_response may re-enter invoke (closed-loop
+    // drivers): new queries land in waiting_ and are served by the next
+    // round, because round_active_ stays set until after this loop.
+    finish_query(ctx, qid);
+  }
+
+  round_active_ = false;
+  if (!waiting_.empty()) start_round(ctx);
 }
 
 void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
@@ -211,11 +335,19 @@ void MLinReplica::finish_query(sim::Context& ctx, std::uint64_t qid) {
 
 void MLinReplica::handle_delivered(sim::Context& ctx, const sim::Message& message) {
   if (message.kind == kQuery) {
-    on_query(ctx, message);
+    on_query(ctx, message, kQueryResp);
+    return;
+  }
+  if (message.kind == kQueryBatch) {
+    on_query(ctx, message, kQueryRespBatch);
     return;
   }
   if (message.kind == kQueryResp) {
     on_query_response(ctx, message);
+    return;
+  }
+  if (message.kind == kQueryRespBatch) {
+    on_round_response(ctx, message);
     return;
   }
   const bool consumed = abcast_->on_message(ctx, message);

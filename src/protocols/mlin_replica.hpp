@@ -22,6 +22,15 @@
 // recorder can attribute reads-from at m-operation granularity; the
 // paper's closing remark (§5.2) licenses restricting the reply to the
 // objects the query declares — enabled with `narrow_replies`.
+//
+// Query fan-out batching (docs/batching.md, `Options::batch_queries`):
+// at most one query ROUND is in flight per process; queries invoked
+// while a round runs wait, and the next round serves every waiting
+// query with a single 2(n-1)-message exchange (kQueryBatch /
+// kQueryRespBatch) requesting the union of their footprints. Freshness
+// is untouched — a round starts after every batched query's invocation,
+// so the merged copy is at least as fresh as any copy existing at each
+// invocation (the same Lemma 16 argument, applied per member).
 #pragma once
 
 #include <map>
@@ -37,11 +46,19 @@ class MLinReplica final : public Replica {
  public:
   static constexpr std::uint32_t kQuery = sim::wire::protocols_kind(0);
   static constexpr std::uint32_t kQueryResp = sim::wire::protocols_kind(1);
+  /// Batched query round: same body layout as kQuery / kQueryResp, keyed
+  /// by a round id instead of a qid, footprint = union over the round.
+  static constexpr std::uint32_t kQueryBatch = sim::wire::protocols_kind(2);
+  static constexpr std::uint32_t kQueryRespBatch = sim::wire::protocols_kind(3);
 
   struct Options {
     /// §5.2 optimization: replies carry only the objects the query may
     /// read instead of the whole store.
     bool narrow_replies = false;
+    /// Query fan-out batching: serialize queries into rounds (one round
+    /// in flight; all queries waiting when a round completes share the
+    /// next round's single 2(n-1)-message exchange).
+    bool batch_queries = false;
     /// Deliberate protocol mutation for mocc-check validation (never set
     /// in production): silently skip applying the first delivered foreign
     /// update — the delivery counter still advances, so the replica's
@@ -68,9 +85,16 @@ class MLinReplica final : public Replica {
  private:
   void on_deliver(sim::Context& ctx, sim::NodeId origin,
                   const std::vector<std::uint8_t>& payload);
-  void on_query(sim::Context& ctx, const sim::Message& message);
+  void on_query(sim::Context& ctx, const sim::Message& message,
+                std::uint32_t resp_kind);
   void on_query_response(sim::Context& ctx, const sim::Message& message);
   void finish_query(sim::Context& ctx, std::uint64_t qid);
+  /// Opens the next query round over every waiting qid (batch_queries).
+  void start_round(sim::Context& ctx);
+  void on_round_response(sim::Context& ctx, const sim::Message& message);
+  /// All replies in: hand the round's merged copy to each member query,
+  /// finish them in invocation order, then chain the next round.
+  void complete_round(sim::Context& ctx);
 
   std::size_t num_objects_;
   std::unique_ptr<abcast::AtomicBroadcast> abcast_;
@@ -106,6 +130,24 @@ class MLinReplica final : public Replica {
   };
   std::uint64_t next_qid_ = 0;
   std::map<std::uint64_t, PendingQuery> pending_queries_;
+
+  /// One in-flight query round (batch_queries). The merged copy lives at
+  /// round level — member queries receive it only at completion, so it is
+  /// at least as fresh as any copy existing at each member's invocation
+  /// (the round opens after the last member invoked).
+  struct QueryRound {
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> qids;       ///< members, invocation order
+    std::vector<std::uint32_t> footprint;  ///< union may_read; empty = whole store
+    std::size_t replies = 0;
+    std::vector<core::Value> oth_x;
+    util::VersionVector othts;
+    std::vector<core::MOpId> oth_writer;
+  };
+  std::uint64_t next_round_id_ = 0;
+  bool round_active_ = false;
+  QueryRound round_;
+  std::vector<std::uint64_t> waiting_;  ///< qids awaiting the next round
 };
 
 }  // namespace mocc::protocols

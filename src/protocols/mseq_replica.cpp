@@ -41,6 +41,7 @@ void MSeqReplica::on_start(sim::Context& ctx) {
     on_deliver(live_ctx, origin, payload);
   });
   abcast_->set_reliable_link(reliable_link());
+  route_timers_to_abcast(abcast_.get());
   abcast_->on_start(ctx);
 }
 

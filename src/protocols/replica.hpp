@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "abcast/abcast.hpp"
 #include "core/moperation.hpp"
 #include "core/types.hpp"
 #include "fault/reliable_link.hpp"
@@ -120,10 +121,20 @@ class Replica : public sim::Actor {
 
   void on_timer(sim::Context& ctx, std::uint64_t timer_id) final {
     if (link_ != nullptr && link_->on_timer(ctx, timer_id)) return;
+    if (abcast_timers_ != nullptr && abcast_timers_->on_timer(ctx, timer_id)) {
+      return;
+    }
     handle_timer(ctx, timer_id);
   }
 
  protected:
+  /// Subclasses hosting an atomic broadcast register it here (alongside
+  /// wiring its deliver callback) so its timers — group-commit flush
+  /// deadlines — get routed: link first, then abcast, then handle_timer.
+  void route_timers_to_abcast(abcast::AtomicBroadcast* abcast) {
+    abcast_timers_ = abcast;
+  }
+
   /// Protocol-level dispatch, called once per application message
   /// whether it arrived raw or via the reliable link.
   virtual void handle_delivered(sim::Context& ctx, const sim::Message& message) = 0;
@@ -157,6 +168,7 @@ class Replica : public sim::Actor {
 
  private:
   std::unique_ptr<fault::ReliableLink> link_;
+  abcast::AtomicBroadcast* abcast_timers_ = nullptr;  ///< not owned
 };
 
 /// StoreView against a replica-local copy that records accesses at

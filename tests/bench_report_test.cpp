@@ -83,6 +83,51 @@ TEST(BenchReport, SchemaMinorOnlyWithFaultRecords) {
   EXPECT_NE(render_smoke("E8").find("\"schema_minor\": 1"), std::string::npos);
 }
 
+/// Pins the E9 batching-sweep record bytes, including the minor-3
+/// header its batch-size series declares.
+TEST(BenchReport, MatchesGoldenE9Smoke) {
+  expect_matches_golden(render_smoke("E9"), "e9_smoke.json");
+}
+
+TEST(BenchReport, E9DeclaresBatchingSchemaMinor) {
+  EXPECT_NE(render_smoke("E9").find("\"schema_minor\": 3"), std::string::npos);
+}
+
+/// The E9 acceptance invariant: batched sequencer abcast at batch size
+/// >= 8 cuts messages-per-update by at least 5x against the unbatched
+/// baseline on the raw stack, with the audit green at every sweep point
+/// and real group-commit accounting on the batched ones.
+TEST(BenchReport, E9BatchingCutsMessagesPerUpdateFiveFold) {
+  const auto records = run_suite(smoke_options("E9"));
+  ASSERT_FALSE(records.empty());
+  double raw_unbatched = 0.0;
+  double raw_batched = 0.0;
+  for (const auto& record : records) {
+    EXPECT_EQ(record.audit, ExperimentRecord::Audit::kOk) << record.name;
+    const auto& counters = record.metrics.counters();
+    ASSERT_TRUE(counters.contains("batch_assigns")) << record.name;
+    const bool batched = record.config.at("abcast_batch") != "1";
+    if (batched) {
+      EXPECT_GT(counters.at("batch_assigns").value(), 0u) << record.name;
+      EXPECT_GT(counters.at("batch_flushes").value(), 0u) << record.name;
+    } else {
+      EXPECT_EQ(counters.at("batch_assigns").value(), 0u) << record.name;
+    }
+    if (record.config.at("link") == "off") {
+      const double msg_per_op = record.metrics.gauges().at("msg_per_op").value();
+      if (batched) {
+        raw_batched = msg_per_op;
+      } else {
+        raw_unbatched = msg_per_op;
+      }
+    }
+  }
+  ASSERT_GT(raw_unbatched, 0.0);
+  ASSERT_GT(raw_batched, 0.0);
+  EXPECT_GE(raw_unbatched / raw_batched, 5.0)
+      << "unbatched " << raw_unbatched << " vs batched " << raw_batched;
+}
+
 /// The E8 smoke sweep audits every point and must come back clean, with
 /// the link-on points carrying real fault/link accounting.
 TEST(BenchReport, E8SmokeAuditsPassAndCarryFaultMetrics) {

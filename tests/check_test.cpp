@@ -77,6 +77,43 @@ TEST(ExploreTest, ExplorationIsDeterministic) {
   EXPECT_TRUE(same_stats(first.stats, second.stats));
 }
 
+/// The batched small scopes explore clean: sequencer group-commit and
+/// mlin query rounds preserve admissibility on EVERY delivery
+/// interleaving, not just the sampled ones. Batched counterexample
+/// configs must also survive the replay-file round-trip so a violating
+/// schedule found under batching stays reproducible.
+TEST(ExploreTest, BatchedConfigsExploreCleanOnEverySchedule) {
+  for (const char* protocol : {"mseq", "mlin"}) {
+    ExploreConfig config;
+    config.protocol = protocol;
+    config.batching = true;
+    const ExploreResult result = explore(config);
+    EXPECT_TRUE(result.complete) << protocol;
+    EXPECT_FALSE(result.violation.has_value()) << protocol;
+    EXPECT_GT(result.stats.schedules_checked, 0u) << protocol;
+  }
+}
+
+TEST(ExploreTest, BatchingFlagRoundTripsThroughTheReplayFile) {
+  Counterexample original;
+  original.config.protocol = "mseq";
+  original.config.batching = true;
+  original.reason = "synthetic";
+  const std::string text = format_counterexample(original);
+  EXPECT_NE(text.find("batching 1"), std::string::npos);
+  Counterexample parsed;
+  std::string error;
+  ASSERT_TRUE(parse_counterexample(text, parsed, error)) << error;
+  EXPECT_TRUE(parsed.config.batching);
+  // Unbatched files carry no batching line at all — byte-compatible
+  // with v1 readers — and parse back to the off default.
+  original.config.batching = false;
+  const std::string unbatched = format_counterexample(original);
+  EXPECT_EQ(unbatched.find("batching"), std::string::npos);
+  ASSERT_TRUE(parse_counterexample(unbatched, parsed, error)) << error;
+  EXPECT_FALSE(parsed.config.batching);
+}
+
 TEST(ExploreTest, NaiveAndReducedExplorationAgreeOnTheVerdict) {
   for (const char* protocol : {"mseq", "locking"}) {
     ExploreConfig reduced;

@@ -51,6 +51,9 @@ void print_usage(const std::string& program) {
       << "                       mlin-bcastq | locking | aggregate\n"
       << "  --broadcast=NAME     sequencer (default) | isis\n"
       << "  --mutation=NAME      seq-swap | skip-delivery | early-release\n"
+      << "  --batch              explore with hot-path batching on\n"
+      << "                       (sequencer group-commit + mlin query\n"
+      << "                       rounds; also honored by --sweep)\n"
       << "  --processes=N --objects=N --ops=N   scope (default 2/2/2)\n"
       << "  --max-schedules=N --max-depth=N     exploration budgets\n"
       << "  --exact-budget=N     exact-checker state budget (locking)\n"
@@ -75,6 +78,7 @@ ExploreConfig config_from_flags(const mocc::util::CliArgs& args) {
   config.protocol = args.get_string("protocol", config.protocol);
   config.broadcast = args.get_string("broadcast", config.broadcast);
   config.mutation = args.get_string("mutation", config.mutation);
+  config.batching = args.get_bool("batch", false);
   config.max_schedules = static_cast<std::uint64_t>(args.get_int(
       "max-schedules", static_cast<std::int64_t>(config.max_schedules)));
   config.max_depth = static_cast<std::size_t>(
@@ -93,6 +97,7 @@ std::string scope_label(const ExploreConfig& config) {
   std::ostringstream out;
   out << config.protocol;
   if (!config.mutation.empty()) out << "+" << config.mutation;
+  if (config.batching) out << "+batch";
   out << " " << config.num_processes << "p/" << config.num_objects << "o/"
       << config.ops_per_process << "ops";
   return out.str();
@@ -172,6 +177,7 @@ int run_explore(const mocc::util::CliArgs& args) {
 int run_sweep(const mocc::util::CliArgs& args) {
   const std::uint64_t max_schedules = static_cast<std::uint64_t>(
       args.get_int("max-schedules", 1 << 20));
+  const bool batching = args.get_bool("batch", false);
   struct Scope {
     std::size_t processes, objects, ops;
   };
@@ -188,6 +194,7 @@ int run_sweep(const mocc::util::CliArgs& args) {
       config.num_objects = scope.objects;
       config.ops_per_process = scope.ops;
       config.max_schedules = max_schedules;
+      config.batching = batching;
       const ExploreResult result = mocc::check::explore(config);
       std::string verdict = "clean";
       if (result.violation.has_value()) {

@@ -8,7 +8,8 @@
 #                seeds) — finishes in well under a second
 #   all other flags are forwarded to the chaos binary (see chaos --help:
 #   --seeds=N, --ops=N, --drop=0.02,0.10, --dup=R, --protocols=...,
-#   --no-partition, --base-seed=N)
+#   --no-partition, --base-seed=N, --batch to sweep with the hot-path
+#   batching layer on)
 #
 # Exits non-zero when any run violates its consistency condition, leaves
 # the workload incomplete, or exhausts a retransmit budget. Run it under
