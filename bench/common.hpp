@@ -1,4 +1,4 @@
-// Shared helpers for the google-benchmark experiment binaries (E1-E9).
+// Shared helpers for the google-benchmark experiment binaries (E1-E10).
 //
 // The experiment configurations, run helpers, and metric definitions
 // live in experiments.{hpp,cpp} (shared with the bench_report artifact
@@ -50,6 +50,19 @@ inline void set_latency_counters(::benchmark::State& state,
 inline void set_run_counters(::benchmark::State& state, const RunResult& result) {
   obs::Registry registry;
   register_run_metrics(registry, result);
+  export_metrics(state, registry);
+}
+
+/// Multicore-engine counters for E10 (exec_committed, exec_abort_*,
+/// exec_retries_{n,mean,p99}, exec_abort_rate, exec_tput_mops). Routed
+/// through register_exec_metrics so a result with zero committed
+/// m-operations — the all-abort corner — still exports every key with
+/// explicit zeros, the same schema-stability contract as
+/// set_latency_counters.
+inline void set_exec_counters(::benchmark::State& state,
+                              const exec::ExecResult& result) {
+  obs::Registry registry;
+  register_exec_metrics(registry, result, /*include_wallclock=*/true);
   export_metrics(state, registry);
 }
 

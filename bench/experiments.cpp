@@ -8,6 +8,7 @@
 #include "core/admissibility.hpp"
 #include "core/fast_check.hpp"
 #include "core/generate.hpp"
+#include "exec/verify.hpp"
 #include "obs/analysis.hpp"
 #include "obs/json.hpp"
 #include "txn/generate.hpp"
@@ -776,12 +777,119 @@ std::vector<ExperimentRecord> run_e9(const SuiteOptions& options) {
   return records;
 }
 
+void register_exec_metrics(obs::Registry& registry,
+                           const exec::ExecResult& result,
+                           bool include_wallclock) {
+  // Every series registers unconditionally: a record with zero committed
+  // m-operations (the all-abort corner) carries the same keys as a busy
+  // one, with explicit zero counts — the schema-stability contract
+  // register_latency_metrics established for empty latency classes.
+  registry.counter("exec_committed").set(result.stats.committed);
+  registry.counter("exec_abort_validation").set(result.stats.aborted_validation);
+  registry.counter("exec_abort_lock").set(result.stats.aborted_lock);
+  registry.counter("exec_abandoned").set(result.stats.abandoned);
+  auto& retries = registry.histogram("exec_retries", 0.0, 64.0, 64);
+  for (const auto& log : result.logs) {
+    for (const exec::CommittedMop& mop : log) {
+      retries.add(static_cast<double>(mop.attempts - 1));
+    }
+  }
+  const std::uint64_t aborts =
+      result.stats.aborted_validation + result.stats.aborted_lock;
+  const std::uint64_t attempts = result.stats.committed + aborts;
+  registry.gauge("exec_abort_rate")
+      .set(attempts == 0 ? 0.0
+                         : static_cast<double>(aborts) /
+                               static_cast<double>(attempts));
+  registry.gauge("exec_tput_mops")
+      .set(include_wallclock
+               ? static_cast<double>(result.stats.mops_per_sec()) / 1e6
+               : 0.0);
+}
+
+std::vector<ExperimentRecord> run_e10(const SuiteOptions& options) {
+  // The multicore engine: real threads committing via OCC against one
+  // shared store, swept over thread count x (object count, skew)
+  // contention legs at a fixed total m-operation budget, so every point
+  // does the same work and the thread axis reads as scaling. Each
+  // point's merged (epoch, tid) log is re-checked by the admissibility
+  // stack; the verdict lands in the record's audit field. The fast
+  // check + value coherence + replay invariants run everywhere; the
+  // P5.x audit (quadratic in window size x objects) runs on the
+  // high-contention legs, where validation aborts actually happen.
+  //
+  // Smoke mode keeps only the single-thread points: one worker commits
+  // first-try in a deterministic order, so the record bytes — with the
+  // wall-clock gauge pinned to zero — golden-test like every simulator
+  // record. Multi-thread points carry measured wall-clock throughput
+  // and scheduler-dependent abort counts, and are documented as exempt
+  // from the byte-identity contract (docs/observability.md).
+  struct Leg {
+    const char* name;
+    std::size_t objects;
+    double zipf_skew;
+    bool audit;
+  };
+  const Leg legs[] = {
+      {"low", 4096, 0.0, false},
+      {"high", 64, 0.9, true},
+  };
+  const std::vector<std::size_t> thread_counts =
+      options.smoke ? std::vector<std::size_t>{1}
+                    : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t total_mops = options.smoke ? 2000 : 100000;
+
+  std::vector<ExperimentRecord> records;
+  for (const Leg& leg : legs) {
+    for (const std::size_t threads : thread_counts) {
+      exec::ExecConfig config;
+      config.threads = threads;
+      // Smoke shrinks the low-contention store so the per-window
+      // snapshot ops (one write per object) stay proportionate to the
+      // 2000-op budget.
+      config.objects = options.smoke ? leg.objects / 8 : leg.objects;
+      config.mops_per_thread = total_mops / threads;
+      config.footprint = 4;
+      config.query_ratio = 0.4;
+      config.rmw_ratio = 0.5;
+      config.zipf_skew = leg.zipf_skew;
+      config.seed = 42;
+
+      const exec::ExecResult result = exec::run(config);
+      exec::VerifyOptions verify;
+      verify.run_audit = leg.audit;
+      const exec::VerifyReport verdict = exec::verify_execution(result, verify);
+
+      ExperimentRecord record;
+      record.experiment = "E10";
+      record.name = std::string("E10/exec/") + leg.name + "/t" +
+                    std::to_string(threads);
+      record.config["threads"] = std::to_string(threads);
+      record.config["objects"] = std::to_string(config.objects);
+      record.config["mops_per_thread"] = std::to_string(config.mops_per_thread);
+      record.config["footprint"] = std::to_string(config.footprint);
+      record.config["query_ratio"] = "0.4";
+      record.config["rmw_ratio"] = "0.5";
+      record.config["zipf"] = leg.zipf_skew == 0.0 ? "0" : "0.9";
+      record.config["seed"] = std::to_string(config.seed);
+      record.config["p5_audit"] = leg.audit ? "on" : "off";
+      register_exec_metrics(record.metrics, result,
+                            /*include_wallclock=*/!options.smoke);
+      record.metrics.counter("exec_verify_windows").set(verdict.windows);
+      record.audit = verdict.ok ? ExperimentRecord::Audit::kOk
+                                : ExperimentRecord::Audit::kFailed;
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
 std::vector<ExperimentRecord> run_suite(const SuiteOptions& options) {
   using Runner = std::vector<ExperimentRecord> (*)(const SuiteOptions&);
   constexpr std::pair<const char*, Runner> kExperiments[] = {
-      {"E1", run_e1}, {"E2", run_e2}, {"E3", run_e3}, {"E4", run_e4},
-      {"E5", run_e5}, {"E6", run_e6}, {"E7", run_e7}, {"E8", run_e8},
-      {"E9", run_e9},
+      {"E1", run_e1}, {"E2", run_e2}, {"E3", run_e3},  {"E4", run_e4},
+      {"E5", run_e5}, {"E6", run_e6}, {"E7", run_e7},  {"E8", run_e8},
+      {"E9", run_e9}, {"E10", run_e10},
   };
   std::vector<ExperimentRecord> records;
   for (const auto& [name, runner] : kExperiments) {
@@ -844,9 +952,14 @@ void write_records_json(std::ostream& out,
   json.begin_object();
   json.field("schema_version", kBenchSchemaVersion);
   // Additive minor revision: the highest one whose names actually appear
-  // in the record set (minor 3 = E9's batch-size series, minor 2 = span
-  // phase series, minor 1 = E8's fault/link metrics). Artifacts using
-  // none — and their goldens — stay byte-identical to minor 0.
+  // in the record set (minor 4 = E10's exec-engine series, minor 3 =
+  // E9's batch-size series, minor 2 = span phase series, minor 1 = E8's
+  // fault/link metrics). Artifacts using none — and their goldens —
+  // stay byte-identical to minor 0.
+  const bool has_exec_records =
+      std::any_of(records.begin(), records.end(), [](const ExperimentRecord& r) {
+        return r.metrics.counters().contains("exec_committed");
+      });
   const bool has_batching_records =
       std::any_of(records.begin(), records.end(), [](const ExperimentRecord& r) {
         return r.metrics.histograms().contains("batch_assign_size");
@@ -858,7 +971,9 @@ void write_records_json(std::ostream& out,
   const bool has_fault_records =
       std::any_of(records.begin(), records.end(),
                   [](const ExperimentRecord& r) { return r.experiment == "E8"; });
-  if (has_batching_records) {
+  if (has_exec_records) {
+    json.field("schema_minor", kBenchSchemaMinorExec);
+  } else if (has_batching_records) {
     json.field("schema_minor", kBenchSchemaMinorBatching);
   } else if (has_span_records) {
     json.field("schema_minor", kBenchSchemaMinorSpans);

@@ -1,4 +1,4 @@
-// Experiment suite E1-E9 as a library: shared run helpers, the metrics
+// Experiment suite E1-E10 as a library: shared run helpers, the metrics
 // each experiment registers (through obs::Registry), and the
 // machine-readable record schema behind BENCH_results.json.
 //
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "api/system.hpp"
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocols/workload.hpp"
@@ -45,7 +46,9 @@ inline constexpr int kBenchSchemaVersion = 1;
 inline constexpr int kBenchSchemaMinorFaults = 1;
 inline constexpr int kBenchSchemaMinorSpans = 2;
 inline constexpr int kBenchSchemaMinorBatching = 3;
-inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorBatching;
+/// Minor 4 is E10's multicore-engine series (exec_committed et al.).
+inline constexpr int kBenchSchemaMinorExec = 4;
+inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorExec;
 
 /// Latency histogram shape shared by every experiment: virtual-tick
 /// latencies land in [0, 4096) at 4-tick resolution, which covers every
@@ -128,6 +131,20 @@ void register_span_metrics(obs::Registry& registry,
                            const obs::RingBufferSink& sink,
                            const RunResult& result);
 
+/// Multicore-engine series for E10 records (schema minor 4): counters
+/// `exec_committed` / `exec_abort_validation` / `exec_abort_lock` /
+/// `exec_abandoned`, histogram `exec_retries` (one sample per committed
+/// m-operation: attempts beyond the first), and gauges `exec_abort_rate`
+/// (aborted attempts per attempt, 0 when nothing was attempted — the
+/// all-abort/empty corner stays schema-stable with explicit zeros, the
+/// same contract as register_latency_metrics) and `exec_tput_mops`
+/// (committed m-ops per microsecond of wall clock). Wall clock is the
+/// one non-deterministic input, so `include_wallclock=false` — used by
+/// every smoke/golden record — pins the gauge to exactly 0.
+void register_exec_metrics(obs::Registry& registry,
+                           const exec::ExecResult& result,
+                           bool include_wallclock);
+
 /// Batching series for E9 records (schema minor 3), read off the run's
 /// batch_assign / batch_flush trace events: histograms
 /// `batch_assign_size` (updates per sequencer position block) and
@@ -155,7 +172,7 @@ struct SuiteOptions {
   /// Reduced sweeps (CI-sized: seconds, not minutes). Every experiment
   /// still contributes records; only the grid shrinks.
   bool smoke = false;
-  /// Subset of {"E1",..,"E9"}; empty = all.
+  /// Subset of {"E1",..,"E10"}; empty = all.
   std::vector<std::string> only;
   /// Collect causal spans on the latency experiments (E1, E2, E8) and
   /// register the phase-breakdown series (schema minor 2). Off by
@@ -182,9 +199,21 @@ std::vector<ExperimentRecord> run_e8(const SuiteOptions& options);
 /// unbatched baseline, measuring the messages-per-update collapse and
 /// the latency cost of the flush triggers. Audits run at every point.
 std::vector<ExperimentRecord> run_e9(const SuiteOptions& options);
+/// E10: the multicore execution engine (src/exec) — threads x
+/// object-count x contention sweep of OCC commit throughput and abort
+/// rate, every point's merged history re-checked by the admissibility
+/// stack (fast check everywhere; the P5.x audit on the high-contention
+/// legs, where aborts actually occur). Smoke mode runs the
+/// single-thread points only: with one worker the engine is
+/// deterministic end to end and the record — wall-clock gauge pinned to
+/// zero — is golden-tested byte-for-byte like every simulator record.
+std::vector<ExperimentRecord> run_e10(const SuiteOptions& options);
 
 /// Runs every selected experiment in order. Deterministic: same options
-/// → identical records.
+/// → identical records. (One exception: E10's full-mode multi-thread
+/// points carry wall-clock throughput and scheduler-dependent abort
+/// counts; its smoke points — single-thread, wall-clock gauge zeroed —
+/// are as deterministic as every other experiment.)
 std::vector<ExperimentRecord> run_suite(const SuiteOptions& options);
 
 /// Serializes records as the schema documented in docs/observability.md.

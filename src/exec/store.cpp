@@ -1,0 +1,71 @@
+#include "exec/store.hpp"
+
+namespace mocc::exec {
+
+ObjectStore::ObjectStore(std::size_t num_objects, core::Value initial_value)
+    : slots_(num_objects) {
+  for (Slot& slot : slots_) {
+    slot.word.store(kInitialTid, std::memory_order_relaxed);
+    slot.value.store(initial_value, std::memory_order_relaxed);
+  }
+}
+
+StableRead ObjectStore::stable_read(core::ObjectId x) const {
+  MOCC_ASSERT(x < slots_.size());
+  const Slot& slot = slots_[x];
+  for (;;) {
+    const std::uint64_t before = slot.word.load(std::memory_order_acquire);
+    if (is_locked(before)) continue;
+    const core::Value value = slot.value.load(std::memory_order_acquire);
+    const std::uint64_t after = slot.word.load(std::memory_order_acquire);
+    if (after == before) return {value, tid_of(before)};
+  }
+}
+
+bool ObjectStore::try_lock(core::ObjectId x, std::uint64_t& observed) {
+  MOCC_ASSERT(x < slots_.size());
+  Slot& slot = slots_[x];
+  std::uint64_t word = slot.word.load(std::memory_order_acquire);
+  if (is_locked(word)) {
+    observed = word;
+    return false;
+  }
+  observed = word;
+  return slot.word.compare_exchange_strong(word, word | kLockBit,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+}
+
+void ObjectStore::write_and_unlock(core::ObjectId x, core::Value value,
+                                   std::uint64_t tid) {
+  MOCC_ASSERT(x < slots_.size());
+  MOCC_ASSERT_MSG(tid < kLockBit, "commit tid overflowed into the lock bit");
+  Slot& slot = slots_[x];
+  MOCC_DEBUG_ASSERT(is_locked(slot.word.load(std::memory_order_relaxed)));
+  // Release on the value store: a reader that sees this value and
+  // synchronizes with it must also see the locked word (stored before it
+  // in this thread), so its seqlock double-read rejects the snapshot
+  // unless it re-reads the final word below.
+  slot.value.store(value, std::memory_order_release);
+  slot.word.store(tid, std::memory_order_release);
+}
+
+void ObjectStore::unlock(core::ObjectId x, std::uint64_t restore_word) {
+  MOCC_ASSERT(x < slots_.size());
+  MOCC_ASSERT(!is_locked(restore_word));
+  Slot& slot = slots_[x];
+  MOCC_DEBUG_ASSERT(is_locked(slot.word.load(std::memory_order_relaxed)));
+  slot.word.store(restore_word, std::memory_order_release);
+}
+
+std::uint64_t ObjectStore::word(core::ObjectId x) const {
+  MOCC_ASSERT(x < slots_.size());
+  return slots_[x].word.load(std::memory_order_acquire);
+}
+
+core::Value ObjectStore::committed_value(core::ObjectId x) const {
+  MOCC_ASSERT(x < slots_.size());
+  return slots_[x].value.load(std::memory_order_acquire);
+}
+
+}  // namespace mocc::exec

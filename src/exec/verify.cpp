@@ -1,0 +1,224 @@
+#include "exec/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/audit.hpp"
+#include "core/constraints.hpp"
+#include "core/fast_check.hpp"
+#include "core/history.hpp"
+#include "protocols/recorder.hpp"
+#include "util/assert.hpp"
+#include "util/timestamp.hpp"
+
+namespace mocc::exec {
+
+void VerifyReport::fail(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAIL") << " (" << mops << " m-ops, " << windows
+      << " windows";
+  if (!ok) out << ", " << violations.size() << " violations";
+  out << ")";
+  for (const std::string& v : violations) out << "\n  " << v;
+  return out.str();
+}
+
+namespace {
+
+/// Replay state carried across windows: per object, the tid and value of
+/// its latest committed writer and its total committed write count.
+struct ReplayState {
+  std::vector<std::uint64_t> last_tid;
+  std::vector<core::Value> last_value;
+  std::vector<std::uint64_t> write_count;
+
+  ReplayState(std::size_t objects, core::Value initial_value)
+      : last_tid(objects, kInitialTid),
+        last_value(objects, initial_value),
+        write_count(objects, 0) {}
+};
+
+/// tid → window-local MOpId for committed updates already replayed in
+/// the current window (kept sorted; merged order is ascending tid).
+class TidIndex {
+ public:
+  void add(std::uint64_t tid, core::MOpId id) { entries_.push_back({tid, id}); }
+  const core::MOpId* find(std::uint64_t tid) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tid,
+        [](const Entry& e, std::uint64_t t) { return e.tid < t; });
+    if (it == entries_.end() || it->tid != tid) return nullptr;
+    return &it->id;
+  }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::uint64_t tid;
+    core::MOpId id;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+VerifyReport verify_execution(const ExecResult& result,
+                              const VerifyOptions& options) {
+  VerifyReport report;
+  const std::size_t objects = result.config.objects;
+  const auto workers = static_cast<core::ProcessId>(result.config.threads);
+  const std::vector<const CommittedMop*> merged = merge_logs(result);
+  report.mops = merged.size();
+
+  if (result.stats.committed != merged.size()) {
+    report.fail("stats.committed (" + std::to_string(result.stats.committed) +
+                ") != merged log size (" + std::to_string(merged.size()) + ")");
+  }
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i - 1]->tid >= merged[i]->tid) {
+      report.fail("merged order not strictly ascending in tid at index " +
+                  std::to_string(i));
+      return report;
+    }
+  }
+
+  ReplayState state(objects, result.config.initial_value);
+  const std::size_t window = std::max<std::size_t>(options.window, 2);
+  TidIndex index;
+
+  for (std::size_t begin = 0; begin < merged.size(); begin += window) {
+    const std::size_t end = std::min(begin + window, merged.size());
+    const std::size_t window_number = report.windows++;
+    auto where = [&](const CommittedMop& mop) {
+      return "window " + std::to_string(window_number) + ", tid " +
+             std::to_string(mop.tid);
+    };
+
+    // One extra process for the per-window snapshot writer.
+    protocols::ExecutionRecorder recorder(workers + 1, objects);
+    index.clear();
+    core::MOpId snapshot_id = core::kInitialMOp;
+    if (begin > 0) {
+      snapshot_id = recorder.begin(workers, "snapshot", 0);
+      std::vector<core::Operation> snapshot_ops;
+      snapshot_ops.reserve(objects);
+      for (std::size_t x = 0; x < objects; ++x) {
+        snapshot_ops.push_back(core::Operation::write(
+            static_cast<core::ObjectId>(x), state.last_value[x]));
+      }
+      recorder.complete(snapshot_id, std::move(snapshot_ops), 1,
+                        util::VersionVector::from_entries(state.write_count),
+                        /*ww_seq=*/0);
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const CommittedMop& mop = *merged[i];
+      // +2 clears the snapshot's stamps (0, 1); the engine's logical
+      // clock preserves relative order, which is all real time needs.
+      const core::MOpId id = recorder.begin(mop.worker, "", mop.invoke + 2);
+      std::vector<core::Operation> ops;
+      ops.reserve(mop.ops.size());
+      for (const LoggedOp& op : mop.ops) {
+        if (op.type == core::OpType::kWrite) {
+          ops.push_back(core::Operation::write(op.object, op.value));
+          continue;
+        }
+        if (op.from_tid == kOwnWriteTid) {
+          // Internal read (own write precedes it in program order);
+          // MOperation excludes it from external_reads, the target is
+          // never consulted.
+          ops.push_back(
+              core::Operation::read(op.object, op.value, core::kInitialMOp));
+          continue;
+        }
+        // The OCC validation invariant: an external read names the
+        // latest committed writer of its object at the reader's
+        // serialization point. This is the cross-window lost-update
+        // detector — it compares against the replay state, not the
+        // window-local history.
+        if (op.from_tid != state.last_tid[op.object]) {
+          report.fail(where(mop) + ": read of object " +
+                      std::to_string(op.object) + " from tid " +
+                      std::to_string(op.from_tid) +
+                      " but the latest committed writer is tid " +
+                      std::to_string(state.last_tid[op.object]));
+        }
+        const core::MOpId* target = index.find(op.from_tid);
+        core::MOpId reads_from;
+        if (target != nullptr) {
+          reads_from = *target;
+        } else if (begin > 0) {
+          reads_from = snapshot_id;  // pre-window writer → snapshot
+        } else {
+          if (op.from_tid != kInitialTid) {
+            report.fail(where(mop) + ": read from unknown tid " +
+                        std::to_string(op.from_tid) + " in the first window");
+          }
+          reads_from = core::kInitialMOp;
+        }
+        ops.push_back(core::Operation::read(op.object, op.value, reads_from));
+      }
+
+      // ts(α) = per-object committed write counts including α's own
+      // writes (one version per written object per m-operation, the
+      // granularity P5.8 expects).
+      for (const LoggedOp& op : mop.ops) {
+        if (op.type != core::OpType::kWrite) continue;
+        if (state.last_tid[op.object] != mop.tid) {
+          state.last_tid[op.object] = mop.tid;
+          ++state.write_count[op.object];
+        }
+        state.last_value[op.object] = op.value;  // last write in PO wins
+      }
+      recorder.complete(
+          id, std::move(ops), mop.response + 2,
+          util::VersionVector::from_entries(state.write_count),
+          mop.is_update ? std::optional<std::uint64_t>(mop.tid) : std::nullopt);
+      if (mop.is_update) index.add(mop.tid, id);
+    }
+
+    const core::History h = recorder.build_history();
+    std::string why;
+    if (!h.well_formed(&why)) {
+      report.fail("window " + std::to_string(window_number) +
+                  ": not well-formed: " + why);
+      continue;
+    }
+    if (!h.value_coherent(&why, result.config.initial_value)) {
+      report.fail("window " + std::to_string(window_number) +
+                  ": not value-coherent: " + why);
+    }
+    const core::FastCheckResult fast = core::fast_check_condition(
+        h, core::Condition::kMLinearizability, recorder.build_ww_order(),
+        core::Constraint::kWW);
+    if (!fast.constraint_holds || !fast.admissible) {
+      report.fail("window " + std::to_string(window_number) +
+                  ": fast check failed: " + fast.detail);
+    }
+    if (options.run_audit) {
+      const core::AuditReport audit = core::audit_protocol_execution(
+          h, recorder.build_trace(h, /*include_process_order=*/false));
+      for (const std::string& v : audit.violations) {
+        report.fail("window " + std::to_string(window_number) + ": " + v);
+      }
+    }
+  }
+
+  for (std::size_t x = 0; x < objects; ++x) {
+    if (x < result.final_values.size() &&
+        result.final_values[x] != state.last_value[x]) {
+      report.fail("final value of object " + std::to_string(x) + " is " +
+                  std::to_string(result.final_values[x]) +
+                  " but the merged log replays to " +
+                  std::to_string(state.last_value[x]));
+    }
+  }
+  return report;
+}
+
+}  // namespace mocc::exec

@@ -27,6 +27,8 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kBacklogSample: return "backlog_sample";
     case TraceEventType::kBatchAssign: return "batch_assign";
     case TraceEventType::kBatchFlush: return "batch_flush";
+    case TraceEventType::kExecCommit: return "exec_commit";
+    case TraceEventType::kExecAbort: return "exec_abort";
   }
   MOCC_ASSERT_MSG(false, "unknown trace event type");
   return "unknown";

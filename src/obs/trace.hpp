@@ -97,6 +97,14 @@ enum class TraceEventType : std::uint8_t {
   /// trigger (0=size/bytes, 1=age, 2=drain), id=frame payload bytes,
   /// arg=items in the frame.
   kBatchFlush,
+  /// Multicore engine (src/exec) OCC commit. time=logical-clock response
+  /// stamp (NOT virtual time — the engine has no simulator), node=worker,
+  /// id=commit tid, arg=attempts the m-operation took (1 = first try).
+  kExecCommit,
+  /// Multicore engine OCC abort of one attempt. time=logical clock when
+  /// the abort was observed, node=worker, kind=reason (0=lock-spin
+  /// budget, 1=read-set validation), id=attempt number aborted.
+  kExecAbort,
 };
 
 /// Stable lowercase name used by the JSONL exporter ("message_send", ...).

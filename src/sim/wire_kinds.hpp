@@ -64,6 +64,17 @@ constexpr bool kind_ranges_sorted_and_disjoint() {
 static_assert(kind_ranges_sorted_and_disjoint(),
               "wire_kinds.hpp: kind ranges must be sorted and disjoint");
 
+/// True when `component` owns a reserved range. Components absent from
+/// the table have no kinds to send with: wire-free subsystems (src/exec)
+/// static_assert the negative so a future Simulator::send call there is
+/// caught at the registry, not just at the debug-build send assert.
+constexpr bool has_component(std::string_view component) {
+  for (std::size_t i = 0; i < kNumKindRanges; ++i) {
+    if (kKindRanges[i].component == component) return true;
+  }
+  return false;
+}
+
 /// True when some component's range contains `kind`.
 constexpr bool is_registered(std::uint32_t kind) {
   for (std::size_t i = 0; i < kNumKindRanges; ++i) {

@@ -192,6 +192,67 @@ TEST(BenchReport, EmptyLatencyClassKeepsSchemaStableZeros) {
   EXPECT_NE(out.str().find("\"q\":{\"count\":0"), std::string::npos);
 }
 
+/// Pins the E10 multicore-engine record bytes. Smoke E10 runs the
+/// single-thread points only and zeroes the wall-clock gauge, so the
+/// record is as deterministic as every simulator record despite the
+/// engine using real threads in full mode.
+TEST(BenchReport, MatchesGoldenE10Smoke) {
+  expect_matches_golden(render_smoke("E10"), "e10_smoke.json");
+}
+
+TEST(BenchReport, E10DeclaresExecSchemaMinor) {
+  EXPECT_NE(render_smoke("E10").find("\"schema_minor\": 4"), std::string::npos);
+}
+
+/// The E10 acceptance invariant at smoke scale: every point's merged
+/// history passes the admissibility re-check (record.audit == kOk) and
+/// carries the full exec counter set.
+TEST(BenchReport, E10SmokeVerifiesAndCarriesExecMetrics) {
+  const auto records = run_suite(smoke_options("E10"));
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_EQ(record.audit, ExperimentRecord::Audit::kOk) << record.name;
+    const auto& counters = record.metrics.counters();
+    ASSERT_TRUE(counters.contains("exec_committed")) << record.name;
+    EXPECT_GT(counters.at("exec_committed").value(), 0u) << record.name;
+    EXPECT_EQ(counters.at("exec_abandoned").value(), 0u) << record.name;
+    EXPECT_GT(counters.at("exec_verify_windows").value(), 0u) << record.name;
+    // Smoke records never carry wall clock — the gauge is pinned to 0.
+    EXPECT_EQ(record.metrics.gauges().at("exec_tput_mops").value(), 0.0)
+        << record.name;
+  }
+}
+
+/// The zero-committed corner (e.g. an all-abort run under max_attempts):
+/// register_exec_metrics must still register every counter, the
+/// histogram, and both gauges with explicit zeros — same schema-stability
+/// contract as register_latency_metrics above.
+TEST(BenchReport, ZeroCommittedExecRunKeepsSchemaStableZeros) {
+  exec::ExecResult empty;  // nothing attempted, nothing committed
+  obs::Registry registry;
+  register_exec_metrics(registry, empty, /*include_wallclock=*/true);
+
+  EXPECT_EQ(registry.counter("exec_committed").value(), 0u);
+  EXPECT_EQ(registry.counter("exec_abort_validation").value(), 0u);
+  EXPECT_EQ(registry.counter("exec_abort_lock").value(), 0u);
+  EXPECT_EQ(registry.counter("exec_abandoned").value(), 0u);
+  const auto& histograms = registry.histograms();
+  ASSERT_TRUE(histograms.contains("exec_retries"));
+  EXPECT_EQ(histograms.at("exec_retries").count(), 0u);
+  EXPECT_EQ(histograms.at("exec_retries").mean(), 0.0);
+  const auto& gauges = registry.gauges();
+  EXPECT_EQ(gauges.at("exec_abort_rate").value(), 0.0);  // 0/0 -> 0, not NaN
+  EXPECT_EQ(gauges.at("exec_tput_mops").value(), 0.0);
+
+  // And the keys serialize with explicit zeros rather than going absent.
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  registry.write_json_fields(json);
+  json.end_object();
+  EXPECT_NE(out.str().find("\"exec_retries\":{\"count\":0"), std::string::npos);
+}
+
 /// Audit verdicts surface in the records: the E7 smoke sweep audits
 /// every run and must come back clean.
 TEST(BenchReport, E7SmokeAuditsPass) {

@@ -160,6 +160,29 @@ TEST(DeterminismTest, AllowSuppressesWithJustification) {
   EXPECT_EQ(out[0].line, 3u);
 }
 
+/// src/exec sits in the REAL repo config's deterministic subtree: an
+/// unjustified wall-clock read there is flagged, and the justified
+/// allow the engine's throughput timer carries is honored. Guards the
+/// Config::repo_default() path list against losing the entry.
+TEST(DeterminismTest, RepoConfigCoversTheExecTree) {
+  const Config repo = Config::repo_default();
+  const SourceFile unjustified = make(
+      "src/exec/engine.cpp", "auto t0 = std::chrono::steady_clock::now();\n");
+  std::vector<Diagnostic> out;
+  check_determinism(repo, unjustified, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "determinism");
+  EXPECT_EQ(out[0].line, 1u);
+
+  const SourceFile justified = make(
+      "src/exec/engine.cpp",
+      "// mocc-lint: allow(determinism): wall-clock throughput measurement\n"
+      "auto t0 = std::chrono::steady_clock::now();\n");
+  out.clear();
+  check_determinism(repo, justified, out);
+  EXPECT_TRUE(out.empty());
+}
+
 // --- sched-hook -------------------------------------------------------
 
 TEST(SchedHookTest, FlagsDirectQueuePushesInTheProtocolTree) {
@@ -332,6 +355,30 @@ TEST(WireKindTest, FlagsRawAndNonRegistryKindsAtSendSites) {
            "  ctx.send(peer, kind, payload);\n"  // runtime variable: passes
            "  // mocc-lint: allow(wire-kind): probe uses an app-range kind\n"
            "  ctx.send(peer, 7, payload);\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_wire_kind(test_config(), files, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].line, 3u);
+  EXPECT_NE(out[0].message.find("raw integer kind"), std::string::npos);
+  EXPECT_EQ(out[1].line, 4u);
+  EXPECT_NE(out[1].message.find("without deriving"), std::string::npos);
+}
+
+/// A component with NO registry range cannot reach a send site: every
+/// kind it could pass is either a raw literal or a local constant not
+/// derived from the registry, and both are flagged. This is the lint
+/// half of the fence keeping wire-free subsystems (src/exec) off the
+/// simulator; the compile-time half is the static_assert in
+/// src/exec/store.hpp that "exec" never gains a registry row.
+TEST(WireKindTest, UnregisteredComponentCannotReachSendSites) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/gamma/g.cpp",
+           "constexpr std::uint32_t kGammaPing = 99;\n"
+           "void f(Ctx& ctx) {\n"
+           "  ctx.send(peer, 99, payload);\n"
+           "  ctx.send(peer, kGammaPing, payload);\n"
            "}\n")};
   std::vector<Diagnostic> out;
   check_wire_kind(test_config(), files, out);

@@ -314,9 +314,9 @@ std::vector<Token> tokenize(const SourceFile& file) {
 
 Config Config::repo_default() {
   Config config;
-  config.deterministic_paths = {"src/sim/",    "src/abcast/", "src/protocols/",
-                                "src/fault/",  "src/obs/",    "src/txn/",
-                                "bench/experiments.cpp"};
+  config.deterministic_paths = {"src/sim/",   "src/abcast/", "src/protocols/",
+                                "src/fault/", "src/obs/",    "src/txn/",
+                                "src/exec/",  "bench/experiments.cpp"};
   config.component_paths = {{"reliable_link", "src/fault/"},
                             {"abcast", "src/abcast/"},
                             {"protocols", "src/protocols/"}};

@@ -5,15 +5,15 @@
 #                           [--out=PATH] [--trace=PATH] [--wallclock]
 #
 # Builds the bench_report driver (build/ is configured on first use) and
-# runs the E1-E9 experiment suite, writing the schema-versioned
+# runs the E1-E10 experiment suite, writing the schema-versioned
 # BENCH_results.json artifact at the repo root (schema documented in
 # docs/observability.md). The artifact carries only deterministic
 # virtual-time metrics, so rerunning with the same flags produces a
 # byte-identical file — diff it, golden-test it, or feed it to the table
 # generators in EXPERIMENTS.md.
 #
-#   --smoke      reduced CI-sized sweeps (seconds; still covers E1-E9)
-#   --only=...   comma-separated subset of E1..E9 (case-insensitive)
+#   --smoke      reduced CI-sized sweeps (seconds; still covers E1-E10)
+#   --only=...   comma-separated subset of E1..E10 (case-insensitive)
 #   --print      also render per-experiment tables to stdout
 #   --out=PATH   artifact path (default: BENCH_results.json)
 #   --trace=PATH additionally write a demo JSONL event trace
@@ -60,15 +60,16 @@ if [ "${WALLCLOCK}" -eq 1 ]; then
     [E7]=bench_e7_asynchrony
     [E8]=bench_e8_faults
     [E9]=bench_e9_batching
+    [E10]=bench_e10_exec
   )
-  SELECTED=(E1 E2 E3 E4 E5 E6 E7 E8 E9)
+  SELECTED=(E1 E2 E3 E4 E5 E6 E7 E8 E9 E10)
   if [ -n "${ONLY}" ]; then
     IFS=',' read -r -a SELECTED <<<"${ONLY}"
   fi
   for exp in "${SELECTED[@]}"; do
     bin="${BINARIES[${exp}]:-}"
     if [ -z "${bin}" ]; then
-      echo "unknown experiment '${exp}' (expected E1..E9)" >&2
+      echo "unknown experiment '${exp}' (expected E1..E10)" >&2
       exit 2
     fi
     cmake --build "${BUILD_DIR}" -j "${JOBS}" --target "${bin}"
