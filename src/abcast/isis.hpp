@@ -25,6 +25,8 @@ namespace mocc::abcast {
 
 class IsisAbcast final : public AtomicBroadcast {
  public:
+  // Three-phase agreement kinds; mocc-lint's msg-flow closure keeps each
+  // one both emitted and handled by the on_message switch in isis.cpp.
   static constexpr std::uint32_t kPropose = sim::wire::abcast_kind(10);
   static constexpr std::uint32_t kProposal = sim::wire::abcast_kind(11);
   static constexpr std::uint32_t kFinal = sim::wire::abcast_kind(12);

@@ -30,6 +30,9 @@ namespace mocc::abcast {
 
 class SequencerAbcast final : public AtomicBroadcast {
  public:
+  // Fixed-sequencer kinds; mocc-lint's msg-flow closure keeps each one
+  // emitted and handled, and checks that kBatchTimerId below retains its
+  // on_timer route in sequencer.cpp.
   static constexpr std::uint32_t kSubmit = sim::wire::abcast_kind(0);
   static constexpr std::uint32_t kDeliver = sim::wire::abcast_kind(1);
   /// Group-commit fan-out: one frame carrying a contiguous position

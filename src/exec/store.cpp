@@ -5,8 +5,12 @@ namespace mocc::exec {
 ObjectStore::ObjectStore(std::size_t num_objects, core::Value initial_value)
     : slots_(num_objects) {
   for (Slot& slot : slots_) {
+    // mocc-lint: allow-begin(atomics): single-threaded construction; the
+    // store is published to the workers by the std::thread creation that
+    // follows, which synchronizes-with their first access
     slot.word.store(kInitialTid, std::memory_order_relaxed);
     slot.value.store(initial_value, std::memory_order_relaxed);
+    // mocc-lint: allow-end(atomics)
   }
 }
 
@@ -41,6 +45,7 @@ void ObjectStore::write_and_unlock(core::ObjectId x, core::Value value,
   MOCC_ASSERT(x < slots_.size());
   MOCC_ASSERT_MSG(tid < kLockBit, "commit tid overflowed into the lock bit");
   Slot& slot = slots_[x];
+  // mocc-lint: allow(atomics): lock-held debug self-check; ordering came from the acquiring CAS
   MOCC_DEBUG_ASSERT(is_locked(slot.word.load(std::memory_order_relaxed)));
   // Release on the value store: a reader that sees this value and
   // synchronizes with it must also see the locked word (stored before it
@@ -54,6 +59,7 @@ void ObjectStore::unlock(core::ObjectId x, std::uint64_t restore_word) {
   MOCC_ASSERT(x < slots_.size());
   MOCC_ASSERT(!is_locked(restore_word));
   Slot& slot = slots_[x];
+  // mocc-lint: allow(atomics): lock-held debug self-check; ordering came from the acquiring CAS
   MOCC_DEBUG_ASSERT(is_locked(slot.word.load(std::memory_order_relaxed)));
   slot.word.store(restore_word, std::memory_order_release);
 }

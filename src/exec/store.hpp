@@ -92,6 +92,16 @@ class ObjectStore {
   core::Value committed_value(core::ObjectId x) const;
 
  private:
+  // Publication discipline, machine-checked by mocc-lint's atomics pass
+  // (docs/static-analysis.md, "Atomics publication discipline"): every
+  // access in src/exec must spell one of the orders declared here, and
+  // each relaxed site carries an inline justified allow. word is the
+  // seqlock/OCC version word — acquire reads pair with the release
+  // publication stores, the commit lock is taken with an acq_rel CAS.
+  // value rides the same release/acquire edge (store-before-word inside
+  // write_and_unlock).
+  // mocc-atomics: word: load=acquire,relaxed store=release,relaxed cas=acq_rel/acquire
+  // mocc-atomics: value: load=acquire store=release,relaxed
   struct Slot {
     std::atomic<std::uint64_t> word;
     std::atomic<core::Value> value;

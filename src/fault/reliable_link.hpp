@@ -60,6 +60,9 @@ namespace mocc::fault {
 /// Message-kind range reserved for the reliable link (below abcast's
 /// [100, 199] and the protocols' [200, 299]; see sim/wire_kinds.hpp).
 inline constexpr std::uint32_t kLinkKindFirst = sim::wire::kReliableLinkFirst;
+// Data/ack pairs are declared in sim/wire_kinds.hpp kKindPairs: the
+// msg-flow closure check guarantees both frame shapes keep an emitter
+// and that kLinkAck keeps answering them.
 inline constexpr std::uint32_t kLinkData = sim::wire::reliable_link_kind(0);
 inline constexpr std::uint32_t kLinkAck = sim::wire::reliable_link_kind(1);
 /// Coalesced frame: several application messages under one link seq.

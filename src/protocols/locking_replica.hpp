@@ -29,6 +29,9 @@ namespace mocc::protocols {
 
 class LockingReplica final : public Replica {
  public:
+  // Three request/response round trips (declared as pairs in
+  // sim/wire_kinds.hpp kKindPairs; mocc-lint's msg-flow closure check
+  // keeps every kind here both emitted and routed by a handler below).
   static constexpr std::uint32_t kLockReq = sim::wire::protocols_kind(10);
   static constexpr std::uint32_t kLockGrant = sim::wire::protocols_kind(11);
   static constexpr std::uint32_t kReadReq = sim::wire::protocols_kind(12);

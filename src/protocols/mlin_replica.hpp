@@ -44,6 +44,9 @@ namespace mocc::protocols {
 
 class MLinReplica final : public Replica {
  public:
+  // Query/response pairs (sim/wire_kinds.hpp kKindPairs): the msg-flow
+  // closure check enforces that a live kQuery[Batch] keeps its
+  // kQueryResp[Batch] emitted, so neither round shape can rot silently.
   static constexpr std::uint32_t kQuery = sim::wire::protocols_kind(0);
   static constexpr std::uint32_t kQueryResp = sim::wire::protocols_kind(1);
   /// Batched query round: same body layout as kQuery / kQueryResp, keyed

@@ -32,6 +32,9 @@ namespace mocc::protocols {
 
 class MSeqReplica final : public Replica {
  public:
+  // Deliberately declares no wire kinds of its own: every message rides
+  // the abcast layer's kinds, so mocc-lint's msg-flow closure has
+  // nothing to track here (and would flag any future orphaned addition).
   struct Options {
     /// Route queries through the atomic broadcast as well; see header
     /// comment. Off = the literal Figure 4.

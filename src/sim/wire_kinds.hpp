@@ -135,4 +135,26 @@ static_assert(reliable_link_kind(0) == 50 && abcast_kind(0) == 100 &&
               "wire_kinds.hpp: historical kind values are load-bearing "
               "(golden bench artifacts key traffic by numeric kind)");
 
+/// A request kind and the response kind that answers it.
+struct KindPair {
+  std::string_view request;
+  std::string_view response;
+};
+
+// Request/response pairings over the kind space. mocc-lint's msg-flow
+// check reads this table (one pair per line, literal constant names) and
+// enforces that both sides of each pair stay closed: a live request
+// whose response is never emitted — or vice versa — is a protocol hole
+// the compiler cannot see. Pure documentation at runtime; nothing links
+// against it.
+inline constexpr KindPair kKindPairs[] = {
+    {"kLinkData", "kLinkAck"},
+    {"kLinkBatchData", "kLinkAck"},
+    {"kQuery", "kQueryResp"},
+    {"kQueryBatch", "kQueryRespBatch"},
+    {"kLockReq", "kLockGrant"},
+    {"kReadReq", "kReadResp"},
+    {"kCommitReq", "kCommitAck"},
+};
+
 }  // namespace mocc::sim::wire

@@ -1,15 +1,21 @@
-// mocc-lint-ast: clang libTooling frontend for the determinism and
-// guarded-by checks.
+// mocc-lint-ast: clang libTooling frontend for the determinism,
+// guarded-by, msg-flow, and atomics checks.
 //
 // The portable token engine (main.cpp / checks_*.cpp) over-approximates:
 // any unordered-container mention needs an allow, and member detection
 // rides on the trailing-underscore convention. This frontend runs the
-// same two checks on the real AST — unordered containers are flagged
-// only when their iteration order can escape (range-for / begin()), and
-// members come from FieldDecls with their actual attributes — so its
-// diagnostics are a strict subset. The cross-TU wire-kind and docs-sync
-// trace-registry checks stay in the token engine, which sees the whole
-// tree at once.
+// same checks on the real AST — unordered containers are flagged only
+// when their iteration order can escape (range-for / begin()), members
+// come from FieldDecls with their actual attributes, message-kind uses
+// are real DeclRefExprs classified by their enclosing case label /
+// comparison, and implicit memory orders are CXXDefaultArgExprs (which
+// the token engine can only infer from a missing argument). It also
+// flags atomic operator sugar (++/--/=/implicit conversion), invisible
+// to the token scan because overload resolution decides it. The cross-TU
+// wire-kind and docs-sync trace-registry checks, the kKindPairs /
+// timer-route closure, and the per-field atomics discipline tables stay
+// in the token engine, which sees the whole tree (and its comments) at
+// once.
 //
 // Built only under -DMOCC_BUILD_LINT=ON when find_package(Clang) finds a
 // development install (headers + libclang-cpp); the default build and
@@ -68,8 +74,14 @@ class Reporter {
               const std::string& check, const std::string& message) {
     const std::string rel = relativize(sm, loc);
     if (rel.empty()) return;
-    const unsigned line = sm.getSpellingLineNumber(loc);
-    if (allowed(rel, check, line)) return;
+    report_at(rel, sm.getSpellingLineNumber(loc), check, message);
+  }
+
+  /// Pre-relativized form, for diagnostics emitted after the tool run
+  /// (the msg-flow closure outlives every TU's SourceManager).
+  void report_at(const std::string& rel, unsigned line,
+                 const std::string& check, const std::string& message) {
+    if (rel.empty() || allowed(rel, check, line)) return;
     mocc::lint::Diagnostic diagnostic{check, rel, line, message};
     if (seen_.insert(to_string(diagnostic)).second) {
       llvm::outs() << to_string(diagnostic) << "\n";
@@ -193,6 +205,218 @@ class GuardedByCallback : public ast::MatchFinder::MatchCallback {
   Reporter& reporter_;
 };
 
+/// msg-flow: cross-TU closure of concrete kind constants, from real
+/// DeclRefExprs. Collection runs during the AST walk; the closure
+/// (emitted-but-unhandled / dead-handler / orphan) is resolved in
+/// finish() once every TU has been seen. Kind constants are constexpr
+/// variables initialized directly from a <component>_kind() registry
+/// helper, exactly the token engine's notion of "concrete".
+class MsgFlowCallback : public ast::MatchFinder::MatchCallback {
+ public:
+  explicit MsgFlowCallback(Reporter& reporter) : reporter_(reporter) {}
+
+  void run(const ast::MatchFinder::MatchResult& result) override {
+    const clang::SourceManager& sm = *result.SourceManager;
+
+    if (const auto* decl = result.Nodes.getNodeAs<clang::VarDecl>("kind_decl")) {
+      const auto* helper = result.Nodes.getNodeAs<clang::FunctionDecl>("helper");
+      if (helper == nullptr) return;
+      const std::string rel = reporter_.relativize(sm, decl->getLocation());
+      if (rel.empty() || rel == reporter_.config().registry_path) return;
+      std::string component = helper->getNameAsString();
+      component.resize(component.size() - 5);  // strip "_kind"
+      const auto dir = reporter_.config().component_paths.find(component);
+      if (dir == reporter_.config().component_paths.end()) return;
+      auto& info = kinds_[decl->getNameAsString()];
+      if (info.file.empty()) {
+        info.file = rel;
+        info.line = sm.getSpellingLineNumber(decl->getLocation());
+        info.dir = dir->second;
+      }
+      return;
+    }
+
+    // Case labels classify their label ref as a handler use; ==/!=
+    // comparisons against a `kind` field do the same. Everything else a
+    // kind ref appears in counts as an emission.
+    if (const auto* label = result.Nodes.getNodeAs<clang::CaseStmt>("case")) {
+      if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(
+              label->getLHS()->IgnoreImplicit())) {
+        note_use(sm, ref, /*handler=*/true);
+      }
+      return;
+    }
+    if (const auto* cmp =
+            result.Nodes.getNodeAs<clang::BinaryOperator>("cmp")) {
+      const clang::Expr* lhs = cmp->getLHS()->IgnoreImplicit();
+      const clang::Expr* rhs = cmp->getRHS()->IgnoreImplicit();
+      if (names_kind_field(lhs) || names_kind_field(rhs)) {
+        for (const clang::Expr* side : {lhs, rhs}) {
+          if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(side)) {
+            note_use(sm, ref, /*handler=*/true);
+          }
+        }
+      }
+      return;
+    }
+    if (const auto* ref =
+            result.Nodes.getNodeAs<clang::DeclRefExpr>("kind_use")) {
+      note_use(sm, ref, /*handler=*/false);
+    }
+  }
+
+  /// Resolves the closure over everything collected. Decl-site lines are
+  /// excluded from the use sets (a header re-included in every TU would
+  /// otherwise count its own initializer).
+  void finish() {
+    for (const auto& [name, info] : kinds_) {
+      std::size_t handler_uses = 0;
+      std::size_t emit_uses = 0;
+      std::string handler_file;
+      unsigned handler_line = 0;
+      for (const auto& [key, use] : uses_) {
+        if (use.name != name) continue;
+        if (use.file == info.file && use.line == info.line) continue;
+        if (use.handler) {
+          if (use.file.rfind(info.dir, 0) == 0) {
+            ++handler_uses;
+            if (handler_file.empty()) {
+              handler_file = use.file;
+              handler_line = use.line;
+            }
+          }
+        } else {
+          ++emit_uses;
+        }
+      }
+      if (emit_uses > 0 && handler_uses == 0) {
+        reporter_.report_at(info.file, info.line, "msg-flow",
+                            "kind '" + name +
+                                "' is emitted but has no handler in " +
+                                info.dir +
+                                " (no case label or kind comparison routes "
+                                "it)");
+      } else if (handler_uses > 0 && emit_uses == 0) {
+        reporter_.report_at(handler_file, handler_line, "msg-flow",
+                            "dead handler: kind '" + name +
+                                "' is handled here but never emitted "
+                                "anywhere");
+      } else if (handler_uses == 0 && emit_uses == 0) {
+        reporter_.report_at(info.file, info.line, "msg-flow",
+                            "orphan kind '" + name +
+                                "': never emitted and never handled");
+      }
+    }
+  }
+
+ private:
+  struct KindInfo {
+    std::string file;
+    unsigned line = 0;
+    std::string dir;
+  };
+  struct Use {
+    std::string name;
+    std::string file;
+    unsigned line = 0;
+    bool handler = false;
+  };
+
+  static bool names_kind_field(const clang::Expr* expr) {
+    if (const auto* member = llvm::dyn_cast<clang::MemberExpr>(expr)) {
+      return member->getMemberDecl()->getName() == "kind";
+    }
+    if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(expr)) {
+      return ref->getDecl()->getName() == "kind";
+    }
+    return false;
+  }
+
+  /// Records one ref, deduplicated by spelling location so headers seen
+  /// from many TUs count once. A location classified as a handler stays
+  /// one (the generic kind_use matcher also visits it).
+  void note_use(const clang::SourceManager& sm, const clang::DeclRefExpr* ref,
+                bool handler) {
+    const clang::SourceLocation loc = ref->getLocation();
+    const std::string rel = reporter_.relativize(sm, loc);
+    if (rel.empty() || !reporter_.config().in_production_tree(rel)) return;
+    const std::string name = ref->getDecl()->getNameAsString();
+    const std::string key = rel + ":" +
+                            std::to_string(sm.getSpellingLineNumber(loc)) +
+                            ":" +
+                            std::to_string(sm.getSpellingColumnNumber(loc)) +
+                            ":" + name;
+    auto [it, inserted] = uses_.try_emplace(
+        key, Use{name, rel, sm.getSpellingLineNumber(loc), handler});
+    if (!inserted && handler) it->second.handler = true;
+  }
+
+  Reporter& reporter_;
+  std::map<std::string, KindInfo> kinds_;
+  std::map<std::string, Use> uses_;
+};
+
+/// atomics: precise implicit-memory-order detection (a defaulted
+/// std::memory_order parameter is a CXXDefaultArgExpr in the AST — no
+/// argument counting) plus the operator-sugar forms the token engine
+/// cannot see at all. The per-field discipline tables live in comments,
+/// so table conformance stays with the token engine.
+class AtomicsCallback : public ast::MatchFinder::MatchCallback {
+ public:
+  explicit AtomicsCallback(Reporter& reporter) : reporter_(reporter) {}
+
+  void run(const ast::MatchFinder::MatchResult& result) override {
+    const clang::SourceManager& sm = *result.SourceManager;
+
+    if (const auto* call =
+            result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("atomic_call")) {
+      if (!in_subtree(sm, call->getExprLoc())) return;
+      const auto* callee = call->getMethodDecl();
+      if (callee == nullptr) return;
+      for (unsigned i = 0; i < call->getNumArgs(); ++i) {
+        if (!llvm::isa<clang::CXXDefaultArgExpr>(call->getArg(i))) continue;
+        if (i >= callee->getNumParams() ||
+            callee->getParamDecl(i)->getType().getAsString().find(
+                "memory_order") == std::string::npos) {
+          continue;
+        }
+        reporter_.report(
+            sm, call->getExprLoc(), "atomics",
+            "implicit seq_cst memory order on '" +
+                callee->getNameAsString() +
+                "' (spell std::memory_order explicitly; the discipline "
+                "table is checked against what the code says)");
+        break;
+      }
+      return;
+    }
+
+    const clang::Expr* sugar = nullptr;
+    if (const auto* op = result.Nodes.getNodeAs<clang::CXXOperatorCallExpr>(
+            "atomic_sugar")) {
+      sugar = op;
+    } else if (const auto* conv =
+                   result.Nodes.getNodeAs<clang::CXXMemberCallExpr>(
+                       "atomic_conversion")) {
+      sugar = conv;
+    }
+    if (sugar != nullptr && in_subtree(sm, sugar->getExprLoc())) {
+      reporter_.report(
+          sm, sugar->getExprLoc(), "atomics",
+          "operator access on a std::atomic (++/--/=/implicit conversion) "
+          "bypasses the explicit-memory-order methods; use "
+          "load/store/fetch_* with a spelled order");
+    }
+  }
+
+ private:
+  bool in_subtree(const clang::SourceManager& sm, clang::SourceLocation loc) {
+    return reporter_.config().in_atomics_tree(reporter_.relativize(sm, loc));
+  }
+
+  Reporter& reporter_;
+};
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -208,6 +432,8 @@ int main(int argc, const char** argv) {
   Reporter reporter(mocc::lint::Config::repo_default());
   DeterminismCallback determinism(reporter);
   GuardedByCallback guarded_by(reporter);
+  MsgFlowCallback msg_flow(reporter);
+  AtomicsCallback atomics(reporter);
 
   ast::MatchFinder finder;
   finder.addMatcher(
@@ -232,9 +458,55 @@ int main(int argc, const char** argv) {
   finder.addMatcher(ast::cxxRecordDecl(ast::isDefinition()).bind("record"),
                     &guarded_by);
 
+  // msg-flow: concrete kind constants (constexpr vars initialized from a
+  // *_kind registry helper), their refs, and the handler contexts.
+  const auto kind_helper = ast::functionDecl(ast::matchesName("_kind$"));
+  const auto kind_var = ast::varDecl(
+      ast::isConstexpr(),
+      ast::hasInitializer(ast::ignoringImplicit(
+          ast::callExpr(ast::callee(kind_helper)))));
+  finder.addMatcher(
+      ast::varDecl(ast::isConstexpr(),
+                   ast::hasInitializer(ast::ignoringImplicit(ast::callExpr(
+                       ast::callee(kind_helper.bind("helper"))))))
+          .bind("kind_decl"),
+      &msg_flow);
+  finder.addMatcher(ast::declRefExpr(ast::to(kind_var)).bind("kind_use"),
+                    &msg_flow);
+  finder.addMatcher(ast::caseStmt().bind("case"), &msg_flow);
+  finder.addMatcher(
+      ast::binaryOperator(ast::hasAnyOperatorName("==", "!=")).bind("cmp"),
+      &msg_flow);
+
+  // atomics: explicit-order methods (for defaulted memory_order args)
+  // and the operator sugar that skips them entirely.
+  const auto atomic_class = ast::cxxRecordDecl(ast::hasAnyName(
+      "::std::atomic", "::std::__atomic_base", "::std::atomic_flag"));
+  finder.addMatcher(
+      ast::cxxMemberCallExpr(
+          ast::callee(ast::cxxMethodDecl(
+              ast::ofClass(atomic_class),
+              ast::hasAnyName("load", "store", "exchange", "fetch_add",
+                              "fetch_sub", "fetch_and", "fetch_or",
+                              "fetch_xor", "compare_exchange_strong",
+                              "compare_exchange_weak"))))
+          .bind("atomic_call"),
+      &atomics);
+  finder.addMatcher(
+      ast::cxxOperatorCallExpr(
+          ast::callee(ast::cxxMethodDecl(ast::ofClass(atomic_class))))
+          .bind("atomic_sugar"),
+      &atomics);
+  finder.addMatcher(
+      ast::cxxMemberCallExpr(
+          ast::callee(ast::cxxConversionDecl(ast::ofClass(atomic_class))))
+          .bind("atomic_conversion"),
+      &atomics);
+
   const int status =
       tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
   if (status != 0) return status;
+  msg_flow.finish();
   if (reporter.count() == 0) {
     llvm::errs() << "mocc-lint-ast: clean\n";
     return 0;

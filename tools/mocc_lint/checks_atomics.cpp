@@ -1,0 +1,392 @@
+// mocc-atomics: publication discipline for lock-free subtrees.
+//
+// The exec engine's correctness (seqlock stable_read, OCC version-word
+// commit, the real-time refinement argument over the seq_cst counters)
+// lives entirely in memory-order choices the compiler never checks. This
+// check makes the discipline an explicit, machine-checked artifact:
+//
+//   1. a per-field table is declared next to the field definition:
+//        // mocc-atomics: word: load=acquire,relaxed store=release cas=acq_rel/acquire
+//        // mocc-atomics: clock: rmw=seq_cst load=relaxed store=relaxed
+//      op classes are load, store, rmw (fetch_*/exchange) and cas
+//      (success/failure orders, '/'-separated); orders are comma lists
+//      over relaxed, consume, acquire, release, acq_rel, seq_cst;
+//   2. tables are collected cross-TU across atomics_paths (declared in
+//      store.hpp next to Slot, checked against every site in store.cpp);
+//   3. every `.load/.store/.fetch_*/.exchange/.compare_exchange_*` site
+//      in the subtree must spell its std::memory_order explicitly (a
+//      bare fetch_add(1) is an implicit seq_cst — allowed semantics,
+//      but invisible intent), the spelled order must be in the field's
+//      declared set, and compare_exchange must spell BOTH orders;
+//   4. relaxed is never self-justifying: even when the table anticipates
+//      it, each relaxed site needs the inline justified-allow escape
+//      hatch (// mocc-lint: allow(atomics): <why>), so every ordering
+//      downgrade carries its argument in the diff.
+//
+// The clang AST frontend re-checks implicit orders precisely (a
+// defaulted memory_order parameter is a CXXDefaultArgExpr) and
+// additionally flags operator sugar (++/--/=/implicit conversion) that
+// bypasses the explicit-order methods entirely; the token engine cannot
+// see overload resolution, so operator accesses are AST-only findings.
+#include "lint.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mocc::lint {
+
+namespace {
+
+constexpr std::string_view kCheck = "atomics";
+
+constexpr std::string_view kOrders[] = {"relaxed", "consume", "acquire",
+                                        "release", "acq_rel", "seq_cst"};
+
+bool is_order(std::string_view name) {
+  for (const auto order : kOrders) {
+    if (order == name) return true;
+  }
+  return false;
+}
+
+/// Atomic access methods and their op class.
+enum class Op { kLoad, kStore, kRmw, kCas };
+
+const std::map<std::string_view, Op>& method_ops() {
+  static const std::map<std::string_view, Op> kMethods = {
+      {"load", Op::kLoad},
+      {"store", Op::kStore},
+      {"exchange", Op::kRmw},
+      {"fetch_add", Op::kRmw},
+      {"fetch_sub", Op::kRmw},
+      {"fetch_and", Op::kRmw},
+      {"fetch_or", Op::kRmw},
+      {"fetch_xor", Op::kRmw},
+      {"compare_exchange_strong", Op::kCas},
+      {"compare_exchange_weak", Op::kCas},
+  };
+  return kMethods;
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kRmw:
+      return "rmw";
+    case Op::kCas:
+      return "cas";
+  }
+  return "?";
+}
+
+struct FieldRule {
+  std::string file;  ///< declaring file (for duplicate reporting)
+  std::size_t line = 0;
+  /// op class -> allowed orders; absent op class = not declared.
+  std::map<Op, std::set<std::string>> ops;
+  std::set<std::string> cas_failure;  ///< failure orders (cas success
+                                      ///< orders live in ops[kCas])
+};
+
+/// Parses one `field: op=orders...` row body (text after the marker).
+/// Returns false (leaving `why` set) on malformed syntax.
+bool parse_row(std::string_view body, FieldRule& rule, std::string& field,
+               std::string& why) {
+  const auto skip_spaces = [&](std::size_t i) {
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i])) != 0) {
+      ++i;
+    }
+    return i;
+  };
+  std::size_t i = skip_spaces(0);
+  std::size_t start = i;
+  while (i < body.size() &&
+         (std::isalnum(static_cast<unsigned char>(body[i])) != 0 ||
+          body[i] == '_')) {
+    ++i;
+  }
+  field.assign(body.substr(start, i - start));
+  i = skip_spaces(i);
+  if (field.empty() || i >= body.size() || body[i] != ':') {
+    why = "expected '<field>: <op>=<orders>...'";
+    return false;
+  }
+  i = skip_spaces(i + 1);
+  bool any_op = false;
+  while (i < body.size()) {
+    start = i;
+    while (i < body.size() && body[i] != '=' &&
+           std::isspace(static_cast<unsigned char>(body[i])) == 0) {
+      ++i;
+    }
+    const std::string op_text(body.substr(start, i - start));
+    if (i >= body.size() || body[i] != '=') {
+      why = "expected '=' after op class '" + op_text + "'";
+      return false;
+    }
+    Op op;
+    if (op_text == "load") {
+      op = Op::kLoad;
+    } else if (op_text == "store") {
+      op = Op::kStore;
+    } else if (op_text == "rmw") {
+      op = Op::kRmw;
+    } else if (op_text == "cas") {
+      op = Op::kCas;
+    } else {
+      why = "unknown op class '" + op_text +
+            "' (expected load, store, rmw, or cas)";
+      return false;
+    }
+    ++i;  // past '='
+    // Orders: comma list; for cas, success orders then '/' then failure
+    // orders.
+    bool in_failure = false;
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i])) == 0) {
+      start = i;
+      while (i < body.size() && body[i] != ',' && body[i] != '/' &&
+             std::isspace(static_cast<unsigned char>(body[i])) == 0) {
+        ++i;
+      }
+      const std::string order(body.substr(start, i - start));
+      if (!is_order(order)) {
+        why = "unknown memory order '" + order + "'";
+        return false;
+      }
+      if (op == Op::kCas && in_failure) {
+        rule.cas_failure.insert(order);
+      } else {
+        rule.ops[op].insert(order);
+      }
+      if (i < body.size() && body[i] == '/') {
+        if (op != Op::kCas) {
+          why = "'/' separator is only valid for cas success/failure";
+          return false;
+        }
+        in_failure = true;
+        ++i;
+      } else if (i < body.size() && body[i] == ',') {
+        ++i;
+      }
+    }
+    if (op == Op::kCas && rule.cas_failure.empty()) {
+      why = "cas needs success and failure orders ('succ/fail')";
+      return false;
+    }
+    any_op = true;
+    i = skip_spaces(i);
+  }
+  if (!any_op) {
+    why = "discipline row declares no op classes";
+    return false;
+  }
+  return true;
+}
+
+/// Collects `// mocc-atomics:` rows from the raw text of one file.
+void collect_tables(const SourceFile& file,
+                    std::map<std::string, FieldRule>& table,
+                    std::vector<Diagnostic>& out) {
+  static constexpr std::string_view kMarker = "mocc-atomics:";
+  const std::string& text = file.text();
+  std::size_t line_start = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string_view line(text.data() + line_start,
+                                line_end - line_start);
+    const std::size_t marker = line.find(kMarker);
+    if (marker != std::string_view::npos &&
+        line.substr(0, marker).find("//") != std::string_view::npos) {
+      const std::size_t line_number = file.line_of(line_start);
+      FieldRule rule;
+      rule.file = file.path();
+      rule.line = line_number;
+      std::string field;
+      std::string why;
+      if (!parse_row(line.substr(marker + kMarker.size()), rule, field,
+                     why)) {
+        out.push_back({std::string(kCheck), file.path(), line_number,
+                       "malformed mocc-atomics row: " + why});
+      } else {
+        const auto [it, inserted] = table.try_emplace(field, std::move(rule));
+        if (!inserted) {
+          out.push_back({std::string(kCheck), file.path(), line_number,
+                         "duplicate mocc-atomics row for field '" + field +
+                             "' (first declared at " + it->second.file + ":" +
+                             std::to_string(it->second.line) + ")"});
+        }
+      }
+    }
+    line_start = line_end + 1;
+  }
+}
+
+/// Memory orders spelled in the argument tokens [first, last], in
+/// appearance order. Accepts std::memory_order_X and
+/// std::memory_order::X spellings.
+std::vector<std::string> spelled_orders(const std::vector<Token>& tokens,
+                                        std::size_t first, std::size_t last) {
+  static constexpr std::string_view kPrefix = "memory_order_";
+  std::vector<std::string> orders;
+  for (std::size_t i = first; i <= last && i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string_view text = tokens[i].text;
+    if (text.size() > kPrefix.size() && text.substr(0, kPrefix.size()) == kPrefix) {
+      orders.emplace_back(text.substr(kPrefix.size()));
+      continue;
+    }
+    if (text == "memory_order" && i + 2 <= last && tokens[i + 1].text == "::" &&
+        tokens[i + 2].kind == Token::Kind::kIdent) {
+      orders.emplace_back(tokens[i + 2].text);
+      ++i;  // the order ident itself is skipped by the loop increment
+    }
+  }
+  return orders;
+}
+
+std::string joined(const std::set<std::string>& orders) {
+  std::string text;
+  for (const auto& order : orders) {
+    if (!text.empty()) text += ",";
+    text += order;
+  }
+  return text.empty() ? "<none>" : text;
+}
+
+/// Splits the argument list after '(' (local copy of the shared idiom).
+std::size_t split_call_args(
+    const std::vector<Token>& tokens, std::size_t open,
+    std::vector<std::pair<std::size_t, std::size_t>>& args) {
+  std::size_t depth = 1;
+  std::size_t start = open + 1;
+  std::size_t i = open + 1;
+  for (; i < tokens.size(); ++i) {
+    const std::string_view text = tokens[i].text;
+    if (text == "(" || text == "[" || text == "{") ++depth;
+    if (text == ")" || text == "]" || text == "}") {
+      if (--depth == 0) break;
+    }
+    if (text == "," && depth == 1) {
+      if (i > start) args.push_back({start, i - 1});
+      start = i + 1;
+    }
+  }
+  if (i > start && i < tokens.size()) args.push_back({start, i - 1});
+  return i;
+}
+
+}  // namespace
+
+void check_atomics(const Config& config, const std::vector<SourceFile>& files,
+                   std::vector<Diagnostic>& out) {
+  // Pass 1: discipline tables, cross-TU over the subtree.
+  std::map<std::string, FieldRule> table;
+  for (const auto& file : files) {
+    if (!config.in_atomics_tree(file.path())) continue;
+    collect_tables(file, table, out);
+  }
+
+  // Pass 2: access sites.
+  for (const auto& file : files) {
+    if (!config.in_atomics_tree(file.path())) continue;
+    const std::vector<Token> tokens = tokenize(file);
+    for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::kIdent) continue;
+      const auto method = method_ops().find(tokens[i].text);
+      if (method == method_ops().end()) continue;
+      if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
+      if (tokens[i + 1].text != "(") continue;
+      if (tokens[i - 2].kind != Token::Kind::kIdent) continue;
+      const std::string field(tokens[i - 2].text);
+      const Op op = method->second;
+      const std::size_t line = file.line_of(tokens[i].offset);
+      const std::string site =
+          field + "." + std::string(tokens[i].text) + "()";
+      const auto flag = [&](const std::string& message) {
+        if (!file.allowed(kCheck, line)) {
+          out.push_back({std::string(kCheck), file.path(), line, message});
+        }
+      };
+
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      split_call_args(tokens, i + 1, args);
+      std::vector<std::string> orders;
+      if (!args.empty()) {
+        orders = spelled_orders(tokens, args.front().first,
+                                args.back().second);
+      }
+
+      const auto rule = table.find(field);
+      if (rule == table.end()) {
+        flag("atomic access " + site +
+             " has no mocc-atomics discipline row (declare one next to "
+             "the field definition)");
+        continue;
+      }
+      if (orders.empty()) {
+        flag("implicit seq_cst memory order on " + site +
+             " (spell std::memory_order explicitly; the discipline table "
+             "is checked against what the code says)");
+        continue;
+      }
+
+      const auto declared = rule->second.ops.find(op);
+      if (declared == rule->second.ops.end()) {
+        flag("discipline row for '" + field + "' declares no " +
+             std::string(op_name(op)) + " orders, but " + site +
+             " is one");
+        continue;
+      }
+      bool bad_order = false;
+      if (op == Op::kCas) {
+        if (orders.size() != 2) {
+          flag(site + " must spell both the success and the failure "
+                      "memory order");
+          continue;
+        }
+        if (declared->second.count(orders[0]) == 0) {
+          flag("cas success order '" + orders[0] + "' on " + site +
+               " is outside the declared set (" + joined(declared->second) +
+               ")");
+          bad_order = true;
+        }
+        if (rule->second.cas_failure.count(orders[1]) == 0) {
+          flag("cas failure order '" + orders[1] + "' on " + site +
+               " is outside the declared set (" +
+               joined(rule->second.cas_failure) + ")");
+          bad_order = true;
+        }
+      } else {
+        for (const auto& order : orders) {
+          if (declared->second.count(order) == 0) {
+            flag("memory order '" + order + "' on " + site +
+                 " is outside the declared " + std::string(op_name(op)) +
+                 " set (" + joined(declared->second) + ")");
+            bad_order = true;
+          }
+        }
+      }
+      if (bad_order) continue;
+      for (const auto& order : orders) {
+        if (order == "relaxed" && !file.allowed(kCheck, line)) {
+          out.push_back(
+              {std::string(kCheck), file.path(), line,
+               "relaxed order on " + site +
+                   " needs an inline justified allow (// mocc-lint: "
+                   "allow(atomics): <why the downgrade is safe>)"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mocc::lint

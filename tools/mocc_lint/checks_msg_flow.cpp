@@ -1,0 +1,410 @@
+// mocc-msg-flow: cross-TU closure of the message graph.
+//
+// The protocols are message-kind state machines: a kind constant is only
+// meaningful if somebody emits it AND somebody in the owning component
+// routes it. This check builds a repo-wide view of every *concrete* kind
+// constant — one defined directly through its component's
+// <component>_kind(offset) registry helper — and classifies each use:
+//
+//   handler use   — a `case kX:` label, or any statement that compares
+//                   the `kind` field against the constant
+//                   (`message.kind == kX`, `kind != kX` early-out
+//                   chains);
+//   emission use  — every other appearance: send()/net_send() arguments,
+//                   helper-call forwarding (on_query(ctx, m, kResp)),
+//                   batch assembly, trace-event payloads. The token
+//                   engine deliberately over-approximates here — a kind
+//                   that reaches ANY expression is considered live,
+//                   which keeps runtime-forwarded kinds
+//                   (pending.wire_kind, resp_kind parameters) closed.
+//
+// Enforced, per kind whose component has a pinned directory:
+//   1. emitted but no handler use inside the component's directory
+//      (unhandled kind — nothing can receive it);
+//   2. handler use but no emission anywhere (dead handler);
+//   3. no uses at all (orphan kind);
+//   4. request/response rows of the registry's kKindPairs table name
+//      known constants of the same component, and a pair with a live
+//      request keeps its response live too (unpaired request/response);
+//   5. every timer id constant passed to set_timer() has an on_timer
+//      route: a statement in the same component directory testing it
+//      against the `timer_id` parameter (missing timer route).
+//
+// Timer ids are collected from `constexpr std::uint64_t kName = ...;`
+// declarations in component directories (the convention both
+// kBatchTimerId and the kLinkTimerTag/kLinkFlushTimerBit masks follow);
+// set_timer calls whose id argument is a plain runtime variable carry no
+// recognizable constant and pass, mirroring the wire-kind send-site
+// policy.
+//
+// A registry without a kKindPairs table is fine (rule 4 is vacuous) —
+// the table is opt-in, the other rules are not. A missing or malformed
+// registry is wire-kind's finding, not repeated here.
+#include "lint.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mocc::lint {
+
+namespace {
+
+constexpr std::string_view kCheck = "msg-flow";
+
+bool is_boundary(std::string_view text) {
+  return text == ";" || text == "{" || text == "}";
+}
+
+/// True when the statement enclosing tokens[i] also contains the ident
+/// `kind` and an equality/inequality comparison — the handler idiom for
+/// `==`-chained on_message bodies. `case kX:` labels are matched
+/// separately (the label is its own statement).
+bool statement_compares(const std::vector<Token>& tokens, std::size_t i,
+                        std::string_view field) {
+  std::size_t begin = i;
+  while (begin > 0 && !is_boundary(tokens[begin - 1].text)) --begin;
+  std::size_t end = i;
+  while (end + 1 < tokens.size() && !is_boundary(tokens[end + 1].text)) ++end;
+  bool has_field = false;
+  bool has_compare = false;
+  for (std::size_t j = begin; j <= end; ++j) {
+    if (tokens[j].kind == Token::Kind::kIdent && tokens[j].text == field) {
+      has_field = true;
+    }
+    if (tokens[j].kind == Token::Kind::kPunct &&
+        (tokens[j].text == "=" || tokens[j].text == "!") &&
+        j + 1 < tokens.size() && tokens[j + 1].text == "=") {
+      has_compare = true;
+    }
+  }
+  return has_field && has_compare;
+}
+
+struct KindInfo {
+  std::string name;
+  std::string file;  ///< declaring file
+  std::size_t line = 0;
+  std::string component;
+  std::string dir;  ///< the component's pinned directory
+  std::size_t handler_uses = 0;  ///< inside dir
+  std::size_t emit_uses = 0;     ///< anywhere scanned
+  std::string first_handler_file;
+  std::size_t first_handler_line = 0;
+};
+
+struct TimerInfo {
+  std::string name;
+  std::string dir;  ///< component directory the declaration lives in
+  bool routed = false;
+};
+
+/// Collects `constexpr std::uintNN_t kName = ...;` declarations whose
+/// initializer directly calls one of the registry helpers (kinds,
+/// uint32_t) or that are 64-bit timer-id constants in a component
+/// directory. Mirrors wire-kind's collector but only needs the direct
+/// helper-call form — every concrete kind in the tree is declared that
+/// way, and derived aliases stay wire-kind's business.
+void collect_declarations(const Config& config, const SourceFile& file,
+                          const std::set<std::string>& helper_names,
+                          const std::map<std::string, std::string>& helper_dirs,
+                          std::map<std::string, KindInfo>& kinds,
+                          std::map<std::string, TimerInfo>& timers) {
+  // The registry's own constants define the ranges; they are not part of
+  // the message graph.
+  if (file.path() == config.registry_path) return;
+  std::string file_dir;  ///< the component dir this file sits in, if any
+  for (const auto& [component, dir] : config.component_paths) {
+    if (file.path().rfind(dir, 0) == 0) file_dir = dir;
+  }
+  const std::vector<Token> tokens = tokenize(file);
+  for (std::size_t i = 0; i + 6 < tokens.size(); ++i) {
+    if (tokens[i].text != "constexpr") continue;
+    std::size_t j = i + 1;
+    if (tokens[j].text == "std" && tokens[j + 1].text == "::") j += 2;
+    const bool is_kind_width = tokens[j].text == "uint32_t";
+    const bool is_timer_width = tokens[j].text == "uint64_t";
+    if (!is_kind_width && !is_timer_width) continue;
+    ++j;
+    if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) continue;
+    const std::size_t name_index = j;
+    ++j;
+    if (j >= tokens.size() || tokens[j].text != "=") continue;
+    std::size_t k = j + 1;
+    while (k < tokens.size() && tokens[k].text != ";") ++k;
+    if (k >= tokens.size()) continue;
+    const std::string name(tokens[name_index].text);
+    if (is_timer_width) {
+      if (!file_dir.empty()) {
+        timers.try_emplace(name, TimerInfo{name, file_dir, false});
+      }
+      continue;
+    }
+    // Kind constant: the initializer must call a registry helper.
+    for (std::size_t h = j + 1; h + 1 < k; ++h) {
+      if (tokens[h].kind != Token::Kind::kIdent ||
+          tokens[h + 1].text != "(" ||
+          helper_names.count(std::string(tokens[h].text)) == 0) {
+        continue;
+      }
+      const std::string component(
+          tokens[h].text.substr(0, tokens[h].text.size() - 5));  // strip _kind
+      const auto dir = helper_dirs.find(component);
+      if (dir == helper_dirs.end()) break;  // no pinned directory: skip
+      KindInfo info;
+      info.name = name;
+      info.file = file.path();
+      info.line = file.line_of(tokens[name_index].offset);
+      info.component = component;
+      info.dir = dir->second;
+      kinds.try_emplace(name, std::move(info));
+      break;
+    }
+  }
+}
+
+/// Splits the argument list after the '(' at `open` (same contract as
+/// wire-kind's helper; duplicated locally to keep the checks' internals
+/// independent).
+std::size_t split_call_args(
+    const std::vector<Token>& tokens, std::size_t open,
+    std::vector<std::pair<std::size_t, std::size_t>>& args) {
+  std::size_t depth = 1;
+  std::size_t start = open + 1;
+  std::size_t i = open + 1;
+  for (; i < tokens.size(); ++i) {
+    const std::string_view text = tokens[i].text;
+    if (text == "(" || text == "[" || text == "{") ++depth;
+    if (text == ")" || text == "]" || text == "}") {
+      if (--depth == 0) break;
+    }
+    if (text == "," && depth == 1) {
+      if (i > start) args.push_back({start, i - 1});
+      start = i + 1;
+    }
+  }
+  if (i > start && i < tokens.size()) args.push_back({start, i - 1});
+  return i;
+}
+
+/// Parses the registry's kKindPairs rows: {"request", "response"}
+/// literals recovered from the masked table by offset. Absent table =
+/// no rows, by design.
+struct PairRow {
+  std::string request;
+  std::string response;
+  std::size_t line = 0;
+};
+
+std::vector<PairRow> parse_kind_pairs(const SourceFile& registry) {
+  std::vector<PairRow> rows;
+  const std::vector<Token> tokens = tokenize(registry);
+  std::size_t table = tokens.size();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind == Token::Kind::kIdent &&
+        tokens[i].text == "kKindPairs") {
+      table = i;
+      break;
+    }
+  }
+  if (table == tokens.size()) return rows;
+  const auto& literals = registry.string_literals();
+  const auto literal_between = [&](std::size_t from, std::size_t to)
+      -> const SourceFile::Literal* {
+    for (const auto& literal : literals) {
+      if (literal.offset > from && literal.offset < to) return &literal;
+    }
+    return nullptr;
+  };
+  for (std::size_t i = table; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text == ";") break;  // end of the table declaration
+    if (tokens[i].text != "{" || tokens[i + 1].text != "," ||
+        tokens[i + 2].text != "}") {
+      continue;
+    }
+    const SourceFile::Literal* request =
+        literal_between(tokens[i].offset, tokens[i + 1].offset);
+    const SourceFile::Literal* response =
+        literal_between(tokens[i + 1].offset, tokens[i + 2].offset);
+    if (request == nullptr || response == nullptr) continue;
+    rows.push_back({request->value, response->value,
+                    registry.line_of(tokens[i].offset)});
+    i += 2;
+  }
+  return rows;
+}
+
+}  // namespace
+
+void check_msg_flow(const Config& config, const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>& out) {
+  const SourceFile* registry = nullptr;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const auto& file : files) {
+    by_path[file.path()] = &file;
+    if (file.path() == config.registry_path) registry = &file;
+  }
+  // Registry problems (missing header, malformed table) are wire-kind
+  // findings; this check quietly steps aside rather than duplicating
+  // them.
+  if (registry == nullptr) return;
+  std::vector<Diagnostic> scratch;
+  const auto ranges = parse_kind_ranges(*registry, scratch);
+  if (!ranges.has_value()) return;
+
+  std::set<std::string> helper_names;
+  std::map<std::string, std::string> helper_dirs;
+  for (const KindRange& range : *ranges) {
+    const auto dir = config.component_paths.find(range.component);
+    if (dir == config.component_paths.end()) continue;
+    helper_names.insert(range.component + "_kind");
+    helper_dirs.emplace(range.component, dir->second);
+  }
+
+  std::map<std::string, KindInfo> kinds;
+  std::map<std::string, TimerInfo> timers;
+  for (const auto& file : files) {
+    collect_declarations(config, file, helper_names, helper_dirs, kinds,
+                         timers);
+  }
+
+  // Scheduled-but-unrouted timer candidates: (constant, file, line) of
+  // each set_timer site, resolved after the route scan below.
+  struct TimerUse {
+    std::string name;
+    std::string file;
+    std::size_t line = 0;
+  };
+  std::vector<TimerUse> timer_uses;
+
+  for (const auto& file : files) {
+    if (!config.in_production_tree(file.path())) continue;
+    const std::vector<Token> tokens = tokenize(file);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::kIdent) continue;
+
+      if (const auto kind = kinds.find(std::string(tokens[i].text));
+          kind != kinds.end()) {
+        KindInfo& info = kind->second;
+        const std::size_t line = file.line_of(tokens[i].offset);
+        if (file.path() == info.file && line == info.line) continue;  // decl
+        const bool case_label = i > 0 && tokens[i - 1].text == "case";
+        if (case_label || statement_compares(tokens, i, "kind")) {
+          if (file.path().rfind(info.dir, 0) == 0) {
+            ++info.handler_uses;
+            if (info.first_handler_file.empty()) {
+              info.first_handler_file = file.path();
+              info.first_handler_line = line;
+            }
+          }
+        } else {
+          ++info.emit_uses;
+        }
+        continue;
+      }
+
+      if (const auto timer = timers.find(std::string(tokens[i].text));
+          timer != timers.end()) {
+        if (file.path().rfind(timer->second.dir, 0) == 0 &&
+            statement_compares(tokens, i, "timer_id")) {
+          timer->second.routed = true;
+        }
+      }
+
+      if (tokens[i].text == "set_timer" && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "(") {
+        std::vector<std::pair<std::size_t, std::size_t>> args;
+        split_call_args(tokens, i + 1, args);
+        if (args.size() < 2) continue;
+        // Context form: set_timer(delay, id); Simulator form:
+        // set_timer(process, delay, id). The id is the last argument
+        // either way. Declarations carry type tokens, never a known
+        // timer constant, and fall through.
+        const auto [first, last] = args.back();
+        for (std::size_t a = first; a <= last && a < tokens.size(); ++a) {
+          if (tokens[a].kind != Token::Kind::kIdent) continue;
+          if (timers.count(std::string(tokens[a].text)) == 0) continue;
+          timer_uses.push_back({std::string(tokens[a].text), file.path(),
+                                file.line_of(tokens[a].offset)});
+        }
+      }
+    }
+  }
+
+  const auto allowed_at = [&](const std::string& path, std::size_t line) {
+    const auto it = by_path.find(path);
+    return it != by_path.end() && it->second->allowed(kCheck, line);
+  };
+
+  for (const auto& [name, info] : kinds) {
+    if (info.emit_uses > 0 && info.handler_uses == 0) {
+      if (!allowed_at(info.file, info.line)) {
+        out.push_back({std::string(kCheck), info.file, info.line,
+                       "kind '" + name + "' is emitted but has no handler in " +
+                           info.dir +
+                           " (no case label or kind comparison routes it)"});
+      }
+    } else if (info.handler_uses > 0 && info.emit_uses == 0) {
+      if (!allowed_at(info.first_handler_file, info.first_handler_line)) {
+        out.push_back({std::string(kCheck), info.first_handler_file,
+                       info.first_handler_line,
+                       "dead handler: kind '" + name +
+                           "' is handled here but never emitted anywhere"});
+      }
+    } else if (info.handler_uses == 0 && info.emit_uses == 0) {
+      if (!allowed_at(info.file, info.line)) {
+        out.push_back({std::string(kCheck), info.file, info.line,
+                       "orphan kind '" + name +
+                           "': never emitted and never handled"});
+      }
+    }
+  }
+
+  for (const PairRow& row : parse_kind_pairs(*registry)) {
+    if (registry->allowed(kCheck, row.line)) continue;
+    const auto request = kinds.find(row.request);
+    const auto response = kinds.find(row.response);
+    if (request == kinds.end() || response == kinds.end()) {
+      const std::string& unknown =
+          request == kinds.end() ? row.request : row.response;
+      out.push_back({std::string(kCheck), registry->path(), row.line,
+                     "kind pair names unknown constant '" + unknown +
+                         "' (pairs must name concrete registry-derived "
+                         "kinds)"});
+      continue;
+    }
+    if (request->second.component != response->second.component) {
+      out.push_back({std::string(kCheck), registry->path(), row.line,
+                     "kind pair '" + row.request + "'/'" + row.response +
+                         "' spans components '" + request->second.component +
+                         "' and '" + response->second.component + "'"});
+      continue;
+    }
+    if (request->second.emit_uses > 0 && response->second.emit_uses == 0) {
+      out.push_back({std::string(kCheck), registry->path(), row.line,
+                     "unpaired response: request '" + row.request +
+                         "' is emitted but its declared response '" +
+                         row.response + "' never is"});
+    }
+    if (response->second.emit_uses > 0 && request->second.emit_uses == 0) {
+      out.push_back({std::string(kCheck), registry->path(), row.line,
+                     "unpaired request: response '" + row.response +
+                         "' is emitted but its declared request '" +
+                         row.request + "' never is"});
+    }
+  }
+
+  for (const TimerUse& use : timer_uses) {
+    const auto timer = timers.find(use.name);
+    if (timer == timers.end() || timer->second.routed) continue;
+    if (allowed_at(use.file, use.line)) continue;
+    out.push_back({std::string(kCheck), use.file, use.line,
+                   "timer id '" + use.name +
+                       "' is scheduled here but no statement in " +
+                       timer->second.dir +
+                       " tests it against the on_timer timer_id"});
+  }
+}
+
+}  // namespace mocc::lint

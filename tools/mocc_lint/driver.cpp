@@ -118,12 +118,54 @@ std::vector<Diagnostic> run_checks(const Config& config,
     if (enabled("sched-hook")) check_sched_hook(config, file, out);
   }
   if (enabled("wire-kind")) check_wire_kind(config, files, out);
+  if (enabled("msg-flow")) check_msg_flow(config, files, out);
+  if (enabled("atomics")) check_atomics(config, files, out);
   if (enabled("trace-registry")) {
     check_trace_registry(config, files, docs_text, out);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void check_compdb(const RunOptions& options, std::vector<Diagnostic>& out) {
+  const fs::path root =
+      options.repo_root.empty() ? fs::path(".") : fs::path(options.repo_root);
+  const fs::path compdb = options.compdb_path.empty()
+                              ? root / "build" / "compile_commands.json"
+                              : fs::path(options.compdb_path);
+  // No database: the filesystem walk already covers everything the
+  // token engine needs, and there is no AST scan to narrow.
+  if (!fs::exists(compdb)) return;
+  const std::vector<std::string> listed_vec = compdb_files(slurp(compdb), root);
+  const std::set<std::string> listed(listed_vec.begin(), listed_vec.end());
+
+  // Sources on disk but missing from the database: an AST-frontend run
+  // driven by the database would silently skip them.
+  for (const char* top : {"src", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".cc") continue;
+      const std::string rel = relativize(root, entry.path());
+      if (rel.empty() || listed.count(rel) != 0) continue;
+      out.push_back({"compdb", rel, 1,
+                     "source is not listed in compile_commands.json — the "
+                     "database is stale and would narrow the AST scan "
+                     "(re-run cmake to regenerate it)"});
+    }
+  }
+  // Entries whose source no longer exists: a renamed or deleted file the
+  // database still points at.
+  for (const std::string& rel : listed) {
+    if (!in_scanned_tree(rel)) continue;
+    if (fs::exists(root / rel)) continue;
+    out.push_back({"compdb", rel, 1,
+                   "compile_commands.json lists this source but it no "
+                   "longer exists (stale database; re-run cmake)"});
+  }
 }
 
 std::vector<Diagnostic> run_lint(const RunOptions& options) {
@@ -136,7 +178,14 @@ std::vector<Diagnostic> run_lint(const RunOptions& options) {
     files.push_back(SourceFile::from_string(rel, slurp(root / rel)));
   }
   const std::string docs = slurp(root / config.trace_docs_path);
-  return run_checks(config, files, docs, options.checks);
+  std::vector<Diagnostic> out =
+      run_checks(config, files, docs, options.checks);
+  if (options.checks.empty() || options.checks.count("compdb") != 0) {
+    check_compdb(options, out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
 }
 
 }  // namespace mocc::lint

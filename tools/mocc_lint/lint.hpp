@@ -3,7 +3,7 @@
 // The repo's determinism guarantees (byte-identical simulator reruns,
 // golden bench artifacts, seed-reproducible chaos sweeps) rest on
 // conventions no general-purpose tool checks. mocc-lint turns them into
-// an enforced contract with five checks:
+// an enforced contract:
 //
 //   determinism     — no wall clock, no ambient randomness, and no
 //                     unordered containers inside the deterministic
@@ -29,6 +29,22 @@
 //   trace-registry  — TraceEvent name literals live only in the
 //                     obs::to_string registry, cover the enum exactly,
 //                     and stay in sync with docs/observability.md.
+//   msg-flow        — cross-TU closure of the message graph: every
+//                     emitted kind has a handler in its component's
+//                     directory, every handled kind has an emitter
+//                     (dead-handler detection), request/response pairs
+//                     declared in the registry's kKindPairs table stay
+//                     closed, and every timer id passed to set_timer()
+//                     has an on_timer route.
+//   atomics         — inside atomics_paths (src/exec/ and any future
+//                     lock-free subtree) every atomic access spells an
+//                     explicit std::memory_order drawn from a per-field
+//                     `// mocc-atomics:` discipline table; relaxed
+//                     additionally needs an inline justified allow.
+//   compdb          — compile_commands.json freshness: sources on disk
+//                     but missing from the database (or listed but
+//                     deleted) fail loudly instead of silently
+//                     narrowing the AST frontend's scan.
 //
 // Escape hatch (inline, justification required):
 //   // mocc-lint: allow(<check>): <why this site is safe>
@@ -61,8 +77,9 @@ namespace mocc::lint {
 /// Check identifiers accepted by the allow() escape hatch. "suppression"
 /// names the meta-check that validates the escape hatches themselves.
 inline constexpr std::string_view kCheckNames[] = {
-    "determinism", "wire-kind",   "guarded-by",
-    "sched-hook",  "trace-registry", "suppression"};
+    "determinism", "wire-kind", "guarded-by",      "sched-hook",
+    "msg-flow",    "atomics",   "trace-registry",  "compdb",
+    "suppression"};
 
 bool is_known_check(std::string_view name);
 
@@ -167,6 +184,10 @@ struct Config {
   /// Paths whose code must route every simulator event through the
   /// ScheduleController seam (the sched-hook check).
   std::vector<std::string> sched_hook_paths;
+  /// Lock-free subtrees where every atomic access must spell an explicit
+  /// std::memory_order matching a declared `// mocc-atomics:` discipline
+  /// row (the atomics check).
+  std::vector<std::string> atomics_paths;
   std::string registry_path;      ///< src/sim/wire_kinds.hpp
   std::string trace_header_path;  ///< src/obs/trace.hpp
   std::string trace_source_path;  ///< src/obs/trace.cpp
@@ -178,6 +199,7 @@ struct Config {
   bool in_deterministic_subtree(std::string_view path) const;
   bool in_production_tree(std::string_view path) const;
   bool in_sched_hook_tree(std::string_view path) const;
+  bool in_atomics_tree(std::string_view path) const;
 };
 
 // --- Checks (portable token engine) ---------------------------------
@@ -208,6 +230,22 @@ void check_trace_registry(const Config& config,
                           const std::string& docs_text,
                           std::vector<Diagnostic>& out);
 
+/// Message-flow closure over the concrete kind constants: unhandled
+/// emitted kinds, dead handlers, orphan kinds, open request/response
+/// pairs (registry kKindPairs table), and scheduled timer ids with no
+/// on_timer route. Needs every file at once (cross-TU).
+void check_msg_flow(const Config& config, const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>& out);
+
+/// Atomics publication discipline inside atomics_paths: implicit
+/// (defaulted seq_cst) orders, accesses to fields without a
+/// `// mocc-atomics:` discipline row, orders outside the declared set,
+/// and relaxed sites lacking a justified allow. Discipline tables are
+/// collected cross-TU (declared next to the field, checked at every
+/// access site in the subtree).
+void check_atomics(const Config& config, const std::vector<SourceFile>& files,
+                   std::vector<Diagnostic>& out);
+
 /// Parses the kKindRanges table out of the registry header's masked
 /// code. Returns std::nullopt (and appends a diagnostic) when the table
 /// is missing or malformed (empty, unsorted, overlapping).
@@ -219,7 +257,7 @@ std::optional<std::vector<KindRange>> parse_kind_ranges(
 struct RunOptions {
   std::string repo_root;    ///< absolute or relative path to the tree
   std::string compdb_path;  ///< compile_commands.json; "" = auto-detect
-  std::set<std::string> checks;  ///< empty = all four + suppression
+  std::set<std::string> checks;  ///< empty = every check
 };
 
 /// Translation units from the compilation database (restricted to the
@@ -227,6 +265,13 @@ struct RunOptions {
 /// bench/. Sorted, repo-relative. Falls back to a filesystem walk when
 /// no database is found.
 std::vector<std::string> discover_files(const RunOptions& options);
+
+/// Compilation-database freshness guard: when a database exists, every
+/// .cpp/.cc on disk under src/ and bench/ must be listed in it and every
+/// listed source must still exist. A stale database would silently
+/// narrow the AST frontend's scan (the token engine walks the
+/// filesystem and is immune). No database at all is not a finding.
+void check_compdb(const RunOptions& options, std::vector<Diagnostic>& out);
 
 /// Loads, scans, and checks the tree; returns sorted diagnostics.
 std::vector<Diagnostic> run_lint(const RunOptions& options);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@ Config test_config() {
   config.component_paths = {{"alpha", "src/alpha/"}, {"beta", "src/beta/"}};
   config.production_paths = {"src/", "bench/"};
   config.sched_hook_paths = {"src/proto/"};
+  config.atomics_paths = {"src/lockfree/"};
   config.registry_path = "src/wire_kinds.hpp";
   config.trace_header_path = "src/trace.hpp";
   config.trace_source_path = "src/trace.cpp";
@@ -547,6 +550,400 @@ TEST(TraceRegistryTest, MissingSpanTableIsFlaggedWhenSpansExist) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_NE(out[0].message.find("no \"## Span types\" table rows found"),
             std::string::npos);
+}
+
+// --- msg-flow ---------------------------------------------------------
+
+/// Registry with a request/response pair table alongside the ranges.
+const char* const kRegistryWithPairs = R"cpp(
+struct KindRange { const char* component; unsigned first; unsigned last; };
+inline constexpr KindRange kKindRanges[] = {
+    {"alpha", 10, 19},
+    {"beta", 20, 29},
+};
+struct KindPair { const char* request; const char* response; };
+inline constexpr KindPair kKindPairs[] = {
+    {"kPing", "kPong"},
+};
+)cpp";
+
+/// Concrete kind + timer declarations in alpha's pinned directory.
+const char* const kAlphaDecls =
+    "constexpr std::uint32_t kPing = alpha_kind(0);\n"
+    "constexpr std::uint32_t kPong = alpha_kind(1);\n"
+    "constexpr std::uint64_t kTick = 1;\n";
+
+/// Fully closed protocol body: both kinds emitted and routed (one via an
+/// ==-chain, one via a case label), the timer scheduled and routed.
+const char* const kAlphaClosed =
+    "void poke(Ctx& ctx) {\n"
+    "  ctx.send(peer, kPing, payload);\n"
+    "  ctx.set_timer(4, kTick);\n"
+    "}\n"
+    "void on_message(Ctx& ctx, const Message& message) {\n"
+    "  if (message.kind == kPing) {\n"
+    "    ctx.send(message.from, kPong, payload);\n"
+    "    return;\n"
+    "  }\n"
+    "  switch (message.kind) {\n"
+    "    case kPong: break;\n"
+    "  }\n"
+    "}\n"
+    "void on_timer(Ctx& ctx, std::uint64_t timer_id) {\n"
+    "  if (timer_id != kTick) return;\n"
+    "}\n";
+
+TEST(MsgFlowTest, ClosedGraphIsClean) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistryWithPairs),
+      make("src/alpha/proto.hpp", kAlphaDecls),
+      make("src/alpha/proto.cpp", kAlphaClosed)};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+TEST(MsgFlowTest, FlagsEmittedButUnhandledKind) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.send(peer, kPing, payload); }\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/alpha/proto.hpp");
+  EXPECT_NE(out[0].message.find(
+                "kind 'kPing' is emitted but has no handler in src/alpha/"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, FlagsDeadHandlerAtTheHandlerSite) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n"),
+      make("src/alpha/proto.cpp",
+           "void on_message(Ctx& ctx, const Message& message) {\n"
+           "  switch (message.kind) {\n"
+           "    case kPing: break;\n"
+           "  }\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/alpha/proto.cpp");
+  EXPECT_EQ(out[0].line, 3u);
+  EXPECT_NE(out[0].message.find("dead handler: kind 'kPing'"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, FlagsOrphanKindAndAllowSuppressesIt) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("orphan kind 'kPing'"), std::string::npos);
+
+  const std::vector<SourceFile> allowed = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp",
+           "// mocc-lint: allow(msg-flow): staged rollout, emitter lands "
+           "next\n"
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n")};
+  out.clear();
+  check_msg_flow(test_config(), allowed, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MsgFlowTest, HandlerOutsideTheComponentDirectoryDoesNotCount) {
+  // A kind comparison in beta's tree cannot route an alpha kind.
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.send(peer, kPing, payload); }\n"),
+      make("src/beta/other.cpp",
+           "void f(const Message& message) {\n"
+           "  if (message.kind == kPing) return;\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("is emitted but has no handler"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, FlagsUnpairedResponse) {
+  // kPing is live; its declared response kPong is handled but nobody
+  // emits it — both the dead handler and the broken pair surface.
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistryWithPairs),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n"
+           "constexpr std::uint32_t kPong = alpha_kind(1);\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.send(peer, kPing, payload); }\n"
+           "void on_message(Ctx& ctx, const Message& message) {\n"
+           "  if (message.kind == kPing) return;\n"
+           "  if (message.kind == kPong) return;\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("dead handler: kind 'kPong'"),
+            std::string::npos);
+  EXPECT_EQ(out[1].file, "src/wire_kinds.hpp");
+  EXPECT_NE(out[1].message.find(
+                "unpaired response: request 'kPing' is emitted but its "
+                "declared response 'kPong' never is"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, FlagsPairRowsNamingUnknownOrForeignConstants) {
+  const char* const registry = R"cpp(
+struct KindRange { const char* component; unsigned first; unsigned last; };
+inline constexpr KindRange kKindRanges[] = {
+    {"alpha", 10, 19},
+    {"beta", 20, 29},
+};
+struct KindPair { const char* request; const char* response; };
+inline constexpr KindPair kKindPairs[] = {
+    {"kNope", "kPing"},
+    {"kPing", "kBolt"},
+};
+)cpp";
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", registry),
+      make("src/alpha/proto.hpp",
+           "constexpr std::uint32_t kPing = alpha_kind(0);\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.send(peer, kPing, payload); }\n"
+           "void on_message(Ctx& ctx, const Message& message) {\n"
+           "  if (message.kind == kPing) return;\n"
+           "}\n"),
+      make("src/beta/proto.hpp",
+           "constexpr std::uint32_t kBolt = beta_kind(0);\n"),
+      make("src/beta/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.send(peer, kBolt, payload); }\n"
+           "void on_message(Ctx& ctx, const Message& message) {\n"
+           "  if (message.kind == kBolt) return;\n"
+           "}\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("kind pair names unknown constant 'kNope'"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find(
+                "kind pair 'kPing'/'kBolt' spans components 'alpha' and "
+                "'beta'"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, FlagsScheduledTimerWithoutARoute) {
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/alpha/proto.hpp", "constexpr std::uint64_t kTick = 1;\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.set_timer(4, kTick); }\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/alpha/proto.cpp");
+  EXPECT_NE(out[0].message.find(
+                "timer id 'kTick' is scheduled here but no statement in "
+                "src/alpha/ tests it against the on_timer timer_id"),
+            std::string::npos);
+}
+
+TEST(MsgFlowTest, RuntimeTimerIdsAndUnpinnedComponentsPass) {
+  // set_timer with a runtime id carries no known constant; a component
+  // without a pinned directory contributes no kinds to the graph.
+  Config config = test_config();
+  config.component_paths.erase("beta");
+  const std::vector<SourceFile> files = {
+      make("src/wire_kinds.hpp", kRegistry),
+      make("src/beta/proto.hpp",
+           "constexpr std::uint32_t kBolt = beta_kind(0);\n"),
+      make("src/alpha/proto.cpp",
+           "void poke(Ctx& ctx) { ctx.set_timer(4, deadline_token); }\n")};
+  std::vector<Diagnostic> out;
+  check_msg_flow(config, files, out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+// --- atomics ----------------------------------------------------------
+
+/// Discipline table + conforming sites (relaxed carries its allow).
+const char* const kLockfreeClean =
+    "// mocc-atomics: word: load=acquire,relaxed store=release "
+    "cas=acq_rel/acquire\n"
+    "struct Slot { std::atomic<std::uint64_t> word; };\n"
+    "void f(Slot& s) {\n"
+    "  s.word.load(std::memory_order_acquire);\n"
+    "  s.word.store(1, std::memory_order_release);\n"
+    "  std::uint64_t e = 0;\n"
+    "  s.word.compare_exchange_strong(e, 1, std::memory_order_acq_rel,\n"
+    "                                 std::memory_order_acquire);\n"
+    "  // mocc-lint: allow(atomics): reread under the seqlock; ordered by "
+    "the CAS\n"
+    "  s.word.load(std::memory_order_relaxed);\n"
+    "}\n";
+
+TEST(AtomicsTest, DisciplinedSitesAreClean) {
+  const std::vector<SourceFile> files = {
+      make("src/lockfree/slot.hpp", kLockfreeClean)};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  for (const auto& d : out) ADD_FAILURE() << to_string(d);
+}
+
+TEST(AtomicsTest, FlagsImplicitOrderAndMissingDisciplineRow) {
+  const std::vector<SourceFile> files = {make(
+      "src/lockfree/slot.cpp",
+      "// mocc-atomics: word: load=acquire\n"
+      "void f(Slot& s) {\n"
+      "  s.word.load();\n"               // implicit seq_cst
+      "  s.other.load(std::memory_order_acquire);\n"  // no row
+      "}\n")};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("implicit seq_cst memory order on "
+                                "word.load()"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find("atomic access other.load() has no "
+                                "mocc-atomics discipline row"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, FlagsOrdersOutsideTheDeclaredSet) {
+  const std::vector<SourceFile> files = {make(
+      "src/lockfree/slot.cpp",
+      "// mocc-atomics: word: load=acquire store=release\n"
+      "void f(Slot& s) {\n"
+      "  s.word.store(1, std::memory_order_seq_cst);\n"  // not in store set
+      "  s.word.fetch_add(1, std::memory_order_acq_rel);\n"  // no rmw class
+      "}\n")};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("memory order 'seq_cst' on word.store() is "
+                                "outside the declared store set (release)"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find("discipline row for 'word' declares no rmw "
+                                "orders, but word.fetch_add() is one"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, RelaxedAlwaysNeedsItsInlineJustification) {
+  // The table declaring relaxed is necessary but not sufficient.
+  const std::vector<SourceFile> files = {make(
+      "src/lockfree/slot.cpp",
+      "// mocc-atomics: word: load=acquire,relaxed\n"
+      "void f(Slot& s) { s.word.load(std::memory_order_relaxed); }\n")};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("relaxed order on word.load() needs an "
+                                "inline justified allow"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, CasMustSpellBothOrders) {
+  const std::vector<SourceFile> files = {make(
+      "src/lockfree/slot.cpp",
+      "// mocc-atomics: word: cas=acq_rel/acquire\n"
+      "void f(Slot& s, std::uint64_t e) {\n"
+      "  s.word.compare_exchange_weak(e, 1, std::memory_order_acq_rel);\n"
+      "}\n")};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("must spell both the success and the "
+                                "failure memory order"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, FlagsMalformedAndDuplicateTableRows) {
+  const std::vector<SourceFile> files = {make(
+      "src/lockfree/slot.hpp",
+      "// mocc-atomics: word load=acquire\n"       // missing ':'
+      "// mocc-atomics: value: load=acquire\n"
+      "// mocc-atomics: value: store=release\n")};  // duplicate field
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].message.find("malformed mocc-atomics row"),
+            std::string::npos);
+  EXPECT_NE(out[1].message.find("duplicate mocc-atomics row for field "
+                                "'value' (first declared at "
+                                "src/lockfree/slot.hpp:2)"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, TreesOutsideAtomicsPathsAreNotScanned) {
+  const std::vector<SourceFile> files = {
+      make("src/alpha/free.cpp", "void f(S& s) { s.word.load(); }\n")};
+  std::vector<Diagnostic> out;
+  check_atomics(test_config(), files, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- compdb freshness -------------------------------------------------
+
+TEST(CompdbTest, FlagsUnlistedSourcesAndStaleEntries) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "mocc_compdb_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src");
+  std::ofstream(root / "src" / "listed.cpp") << "int a;\n";
+  std::ofstream(root / "src" / "unlisted.cpp") << "int b;\n";
+  std::ofstream(root / "compile_commands.json")
+      << "[{\"directory\": \"" << root.generic_string()
+      << "\", \"command\": \"c++ -c src/listed.cpp\", \"file\": \""
+      << (root / "src" / "listed.cpp").generic_string()
+      << "\"},\n{\"directory\": \"" << root.generic_string()
+      << "\", \"command\": \"c++ -c src/gone.cpp\", \"file\": \""
+      << (root / "src" / "gone.cpp").generic_string() << "\"}]\n";
+
+  RunOptions options;
+  options.repo_root = root.string();
+  options.compdb_path = (root / "compile_commands.json").string();
+  std::vector<Diagnostic> out;
+  check_compdb(options, out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].file, "src/gone.cpp");
+  EXPECT_NE(out[0].message.find("no longer exists"), std::string::npos);
+  EXPECT_EQ(out[1].file, "src/unlisted.cpp");
+  EXPECT_NE(out[1].message.find("not listed in compile_commands.json"),
+            std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(CompdbTest, MissingDatabaseIsNotAFinding) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "mocc_no_compdb";
+  fs::remove_all(root);
+  fs::create_directories(root / "src");
+  std::ofstream(root / "src" / "a.cpp") << "int a;\n";
+  RunOptions options;
+  options.repo_root = root.string();
+  std::vector<Diagnostic> out;
+  check_compdb(options, out);
+  EXPECT_TRUE(out.empty());
+  fs::remove_all(root);
 }
 
 // --- driver / real tree ----------------------------------------------

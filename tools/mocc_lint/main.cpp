@@ -18,14 +18,16 @@ void usage(std::FILE* to) {
       "Project lint for the mocc tree: scans src/ and bench/ (TUs from\n"
       "build/compile_commands.json when present, plus every header) and\n"
       "enforces the determinism, wire-kind, guarded-by, sched-hook,\n"
-      "and trace-registry invariants. See docs/static-analysis.md.\n"
+      "msg-flow, atomics, trace-registry, and compdb-freshness\n"
+      "invariants. See docs/static-analysis.md.\n"
       "\n"
       "  --root DIR     repo root to scan (default: .)\n"
       "  --compdb FILE  compilation database (default:\n"
       "                 <root>/build/compile_commands.json)\n"
       "  --check NAME   run only NAME (repeatable); names:\n"
       "                 determinism wire-kind guarded-by sched-hook\n"
-      "                 trace-registry suppression\n"
+      "                 msg-flow atomics trace-registry compdb\n"
+      "                 suppression\n"
       "  --list-checks  print check names and exit\n"
       "  -h, --help     this text\n",
       to);

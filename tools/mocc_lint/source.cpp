@@ -322,6 +322,7 @@ Config Config::repo_default() {
                             {"protocols", "src/protocols/"}};
   config.production_paths = {"src/", "bench/"};
   config.sched_hook_paths = {"src/abcast/", "src/protocols/", "src/fault/"};
+  config.atomics_paths = {"src/exec/"};
   config.registry_path = "src/sim/wire_kinds.hpp";
   config.trace_header_path = "src/obs/trace.hpp";
   config.trace_source_path = "src/obs/trace.cpp";
@@ -348,6 +349,10 @@ bool Config::in_production_tree(std::string_view path) const {
 
 bool Config::in_sched_hook_tree(std::string_view path) const {
   return has_prefix_in(path, sched_hook_paths);
+}
+
+bool Config::in_atomics_tree(std::string_view path) const {
+  return has_prefix_in(path, atomics_paths);
 }
 
 }  // namespace mocc::lint

@@ -54,13 +54,14 @@ stage_werror() {
 
 stage_lint() {
   # Project lint (tools/mocc_lint, docs/static-analysis.md): determinism,
-  # wire-kind, guarded-by, and trace-registry invariants over src/ and
-  # bench/. The portable frontend builds with any toolchain; the clang
-  # AST frontend is additionally built when a Clang dev install exists.
+  # wire-kind, guarded-by, sched-hook, msg-flow, atomics, trace-registry,
+  # and compdb-freshness invariants over src/ and bench/. The portable
+  # frontend builds with any toolchain; the clang AST frontend is
+  # additionally built when a Clang dev install exists.
   note "mocc-lint (portable frontend + self-tests)"
   cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOCC_BUILD_LINT=ON &&
     cmake --build build-lint -j "${JOBS}" --target mocc-lint lint_test &&
-    ctest --test-dir build-lint --output-on-failure -j "${JOBS}" -R '^(SourceFile|Suppression|Determinism|GuardedBy|WireKind|TraceRegistry|Driver|RepoLint)' &&
+    ctest --test-dir build-lint --output-on-failure -j "${JOBS}" -R '^(SourceFile|Suppression|Determinism|GuardedBy|SchedHook|WireKind|MsgFlow|Atomics|Compdb|TraceRegistry|Driver|RepoLint)' &&
     ./build-lint/tools/mocc_lint/mocc-lint --root . --compdb build-lint/compile_commands.json
 }
 
