@@ -145,6 +145,11 @@ void register_batching_metrics(obs::Registry& registry,
   registry.counter("batch_flushes").set(flushes);
 }
 
+void register_streaming_metrics(obs::Registry& registry,
+                                const obs::StreamingAuditor& auditor) {
+  auditor.export_metrics(registry);
+}
+
 bool experiment_selected(const SuiteOptions& options, std::string_view experiment) {
   if (options.only.empty()) return true;
   return std::find(options.only.begin(), options.only.end(), experiment) !=
@@ -884,12 +889,107 @@ std::vector<ExperimentRecord> run_e10(const SuiteOptions& options) {
   return records;
 }
 
+std::vector<ExperimentRecord> run_e11(const SuiteOptions& options) {
+  // Streaming-audit overhead on E1-shaped (clean) and E8-shaped (faulty,
+  // reliable-link) runs. Three audit modes per shape: `off` is the
+  // baseline with no trace sink at all, `stream` consumes the trace tap
+  // online through a StreamingAuditor, `posthoc` captures the whole
+  // trace in a ring and audits it after the run. Virtual-time metrics
+  // are identical across modes by construction — the sink is
+  // observation, never scheduling — so the records document that
+  // invariant; the wall-clock cost lives in bench_e11_streaming.
+  struct Shape {
+    const char* name;
+    bool faults;
+  };
+  const Shape shapes[] = {{"clean", false}, {"faults", true}};
+  const char* modes[] = {"off", "stream", "posthoc"};
+  std::vector<ExperimentRecord> records;
+  for (const Shape& shape : shapes) {
+    api::SystemConfig config;
+    config.protocol = "mlin";
+    config.num_processes = 3;
+    config.num_objects = 8;
+    config.delay = "lan";
+    config.seed = 77;
+    if (shape.faults) {
+      config.reliable_link = true;
+      config.link.initial_rto = 40;  // as in run_e8: no spurious timeouts
+      config.faults.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+      config.faults.default_link.drop_rate = 0.05;
+      config.faults.default_link.duplicate_rate = 0.05;
+    }
+    protocols::WorkloadParams params;
+    params.ops_per_process = options.smoke ? 8 : 25;
+    params.update_ratio = 0.5;
+    params.footprint = 2;
+
+    for (const char* mode : modes) {
+      ExperimentRecord record;
+      record.experiment = "E11";
+      record.name = std::string("E11/streaming/") + shape.name + "/" + mode;
+      record.config = sim_config_map(config, params);
+      record.config["faults"] = shape.faults ? "on" : "off";
+      record.config["audit_mode"] = mode;
+
+      if (mode == std::string("stream")) {
+        obs::StreamingAuditorOptions live;
+        live.condition = core::Condition::kMLinearizability;
+        live.window = 16;  // several cuts even at smoke scale
+        obs::StreamingAuditor auditor(live);
+        const RunResult result =
+            run_experiment(config, params, /*run_audit=*/true, &auditor);
+        auditor.finish();
+        MOCC_ASSERT_MSG(!auditor.violated(),
+                        "E11 streams a correct protocol; a violation here "
+                        "is an auditor bug");
+        register_run_metrics(record.metrics, result);
+        register_streaming_metrics(record.metrics, auditor);
+        record.traffic = result.traffic;
+        if (result.audit_ran) {
+          record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
+                                         : ExperimentRecord::Audit::kFailed;
+        }
+      } else if (mode == std::string("posthoc")) {
+        obs::RingBufferSink sink(kSpanRingCapacity);
+        const RunResult result =
+            run_experiment(config, params, /*run_audit=*/true, &sink);
+        obs::TraceFile trace;
+        trace.has_header = true;
+        trace.events = sink.events();
+        trace.spans = sink.spans();
+        const obs::TraceAudit audit = obs::audit_from_trace(
+            trace, core::Condition::kMLinearizability);
+        register_run_metrics(record.metrics, result);
+        record.metrics.gauge("posthoc_audit_ok").set(audit.ok ? 1.0 : 0.0);
+        record.metrics.counter("posthoc_audit_mops").set(audit.mops);
+        record.traffic = result.traffic;
+        if (result.audit_ran) {
+          record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
+                                         : ExperimentRecord::Audit::kFailed;
+        }
+      } else {
+        const RunResult result =
+            run_experiment(config, params, /*run_audit=*/true);
+        register_run_metrics(record.metrics, result);
+        record.traffic = result.traffic;
+        if (result.audit_ran) {
+          record.audit = result.audit_ok ? ExperimentRecord::Audit::kOk
+                                         : ExperimentRecord::Audit::kFailed;
+        }
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
 std::vector<ExperimentRecord> run_suite(const SuiteOptions& options) {
   using Runner = std::vector<ExperimentRecord> (*)(const SuiteOptions&);
   constexpr std::pair<const char*, Runner> kExperiments[] = {
       {"E1", run_e1}, {"E2", run_e2}, {"E3", run_e3},  {"E4", run_e4},
       {"E5", run_e5}, {"E6", run_e6}, {"E7", run_e7},  {"E8", run_e8},
-      {"E9", run_e9}, {"E10", run_e10},
+      {"E9", run_e9}, {"E10", run_e10}, {"E11", run_e11},
   };
   std::vector<ExperimentRecord> records;
   for (const auto& [name, runner] : kExperiments) {
@@ -952,10 +1052,14 @@ void write_records_json(std::ostream& out,
   json.begin_object();
   json.field("schema_version", kBenchSchemaVersion);
   // Additive minor revision: the highest one whose names actually appear
-  // in the record set (minor 4 = E10's exec-engine series, minor 3 =
-  // E9's batch-size series, minor 2 = span phase series, minor 1 = E8's
-  // fault/link metrics). Artifacts using none — and their goldens —
-  // stay byte-identical to minor 0.
+  // in the record set (minor 5 = E11's streaming-audit series, minor 4 =
+  // E10's exec-engine series, minor 3 = E9's batch-size series, minor 2
+  // = span phase series, minor 1 = E8's fault/link metrics). Artifacts
+  // using none — and their goldens — stay byte-identical to minor 0.
+  const bool has_streaming_records =
+      std::any_of(records.begin(), records.end(), [](const ExperimentRecord& r) {
+        return r.metrics.counters().contains("audit_windows_passed");
+      });
   const bool has_exec_records =
       std::any_of(records.begin(), records.end(), [](const ExperimentRecord& r) {
         return r.metrics.counters().contains("exec_committed");
@@ -971,7 +1075,9 @@ void write_records_json(std::ostream& out,
   const bool has_fault_records =
       std::any_of(records.begin(), records.end(),
                   [](const ExperimentRecord& r) { return r.experiment == "E8"; });
-  if (has_exec_records) {
+  if (has_streaming_records) {
+    json.field("schema_minor", kBenchSchemaMinorStreaming);
+  } else if (has_exec_records) {
     json.field("schema_minor", kBenchSchemaMinorExec);
   } else if (has_batching_records) {
     json.field("schema_minor", kBenchSchemaMinorBatching);

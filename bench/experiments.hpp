@@ -26,6 +26,7 @@
 
 #include "api/system.hpp"
 #include "exec/engine.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocols/workload.hpp"
@@ -48,7 +49,9 @@ inline constexpr int kBenchSchemaMinorSpans = 2;
 inline constexpr int kBenchSchemaMinorBatching = 3;
 /// Minor 4 is E10's multicore-engine series (exec_committed et al.).
 inline constexpr int kBenchSchemaMinorExec = 4;
-inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorExec;
+/// Minor 5 is E11's streaming-audit series (audit_windows_passed et al.).
+inline constexpr int kBenchSchemaMinorStreaming = 5;
+inline constexpr int kBenchSchemaVersionMinor = kBenchSchemaMinorStreaming;
 
 /// Latency histogram shape shared by every experiment: virtual-tick
 /// latencies land in [0, 4096) at 4-tick resolution, which covers every
@@ -145,6 +148,16 @@ void register_exec_metrics(obs::Registry& registry,
                            const exec::ExecResult& result,
                            bool include_wallclock);
 
+/// Streaming-audit series for E11 records (schema minor 5): the
+/// auditor's progress counters `audit_mops` / `audit_windows` /
+/// `audit_windows_passed` / `audit_windows_failed` /
+/// `audit_windows_undecided` and gauge `audit_verdict` (0 ok,
+/// 1 violation, 2 inconclusive) — the same names
+/// StreamingAuditor::export_metrics publishes into time-series samples,
+/// so artifact records and live streams read identically.
+void register_streaming_metrics(obs::Registry& registry,
+                                const obs::StreamingAuditor& auditor);
+
 /// Batching series for E9 records (schema minor 3), read off the run's
 /// batch_assign / batch_flush trace events: histograms
 /// `batch_assign_size` (updates per sequencer position block) and
@@ -208,6 +221,15 @@ std::vector<ExperimentRecord> run_e9(const SuiteOptions& options);
 /// deterministic end to end and the record — wall-clock gauge pinned to
 /// zero — is golden-tested byte-for-byte like every simulator record.
 std::vector<ExperimentRecord> run_e10(const SuiteOptions& options);
+/// E11: streaming-audit overhead — E1-shaped (clean) and E8-shaped
+/// (faulty, reliable-link) mlin runs, each in three audit modes: `off`
+/// (no sink attached), `stream` (a StreamingAuditor consumes the trace
+/// tap online, small windows so several cuts land even in smoke runs),
+/// and `posthoc` (ring-buffer sink, whole trace audited after the run).
+/// The JSON records carry only deterministic series (virtual time,
+/// messages, audit windows); the wall-clock ≤2x overhead claim is
+/// measured by the bench_e11_streaming google-benchmark binary.
+std::vector<ExperimentRecord> run_e11(const SuiteOptions& options);
 
 /// Runs every selected experiment in order. Deterministic: same options
 /// → identical records. (One exception: E10's full-mode multi-thread

@@ -1,4 +1,4 @@
-// bench_report — runs the E1-E10 experiment suite and writes the
+// bench_report — runs the E1-E11 experiment suite and writes the
 // machine-readable BENCH_results.json artifact (schema in
 // docs/observability.md). tools/run_bench.sh is the packaged entry
 // point; invoke this directly for finer control:
@@ -67,9 +67,9 @@ int main(int argc, char** argv) {
   }
   for (const auto& name : options.only) {
     static const std::vector<std::string> known = {
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"};
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"};
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      std::cerr << "unknown experiment '" << name << "' (expected E1..E10)\n";
+      std::cerr << "unknown experiment '" << name << "' (expected E1..E11)\n";
       return 2;
     }
   }

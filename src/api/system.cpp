@@ -144,6 +144,9 @@ System::System(const SystemConfig& config) : config_(config) {
         sink->on_event({obs::TraceEventType::kBacklogSample, at, 0, 0, 0,
                         backlog_.queue_depth, link_bytes});
       }
+      if (timeseries_ != nullptr && metrics_ != nullptr) {
+        timeseries_->sample(*metrics_, at);
+      }
     });
   }
 }
@@ -199,6 +202,8 @@ void System::submit(core::ProcessId process, sim::SimTime at, mscript::Program p
 }
 
 sim::SimTime System::run(sim::SimTime max_time) { return sim_->run(max_time); }
+
+void System::request_stop() { sim_->request_stop(); }
 
 sim::SimTime System::now() const { return sim_->now(); }
 

@@ -34,6 +34,7 @@
 #include "fault/fault.hpp"
 #include "fault/reliable_link.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "protocols/recorder.hpp"
 #include "protocols/replica.hpp"
 #include "protocols/workload.hpp"
@@ -187,6 +188,18 @@ class System {
   /// owned; null — the default — skips gauge updates).
   void set_metrics_registry(obs::Registry* registry) { metrics_ = registry; }
 
+  /// Streams one time-series sample of the metrics registry per backlog
+  /// probe firing (deterministic virtual-time cadence — requires
+  /// config.backlog_sample_interval != 0 and a metrics registry). Not
+  /// owned; null — the default — disables sampling.
+  void set_timeseries(obs::TimeSeriesWriter* writer) { timeseries_ = writer; }
+
+  /// Asks the simulator to stop before its next event; the current
+  /// run() returns early and stays stopped (see Simulator::request_stop).
+  /// A streaming auditor's violation callback uses this to abort a run
+  /// the moment a window fails.
+  void request_stop();
+
  private:
   SystemConfig config_;
   std::unique_ptr<protocols::ExecutionRecorder> recorder_;
@@ -200,6 +213,7 @@ class System {
   std::vector<std::shared_ptr<SubmitQueue>> queues_;
   BacklogSample backlog_;
   obs::Registry* metrics_ = nullptr;
+  obs::TimeSeriesWriter* timeseries_ = nullptr;
 };
 
 }  // namespace mocc::api

@@ -1,6 +1,7 @@
 #include "exec/verify.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "core/audit.hpp"
@@ -217,6 +218,77 @@ VerifyReport verify_execution(const ExecResult& result,
                   " but the merged log replays to " +
                   std::to_string(state.last_value[x]));
     }
+  }
+  return report;
+}
+
+obs::StreamingAuditorOptions stream_options(const ExecConfig& config) {
+  obs::StreamingAuditorOptions options;
+  options.condition = core::Condition::kMLinearizability;
+  options.initial_value = config.initial_value;
+  // OCC reads always name the latest committed writer, so a shallow
+  // retention horizon suffices; keep the default for safety margin.
+  return options;
+}
+
+const obs::StreamingReport& stream_execution(const ExecResult& result,
+                                             obs::StreamingAuditor& auditor,
+                                             obs::TimeSeriesWriter* series,
+                                             obs::Registry* registry,
+                                             std::size_t sample_every,
+                                             bool wallclock) {
+  const std::vector<const CommittedMop*> merged = merge_logs(result);
+  const bool sampling =
+      series != nullptr && registry != nullptr && sample_every != 0;
+  const auto stamp = [&](std::uint64_t logical) -> std::uint64_t {
+    if (!wallclock) return logical;
+    // Wallclock stamps are for live monitoring of the real-thread
+    // engine only; they never enter a deterministic artifact.
+    // mocc-lint: allow(determinism): live-monitoring wallclock stamps
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+  };
+  std::size_t fed = 0;
+  for (const CommittedMop* mop : merged) {
+    obs::StreamingAuditor::ObservedMop observed;
+    observed.process = mop->worker;
+    observed.key = mop->tid;
+    observed.invoke = mop->invoke;
+    observed.respond = mop->response;
+    observed.is_update = mop->is_update;
+    if (mop->is_update) observed.ww = mop->tid;
+    observed.ops.reserve(mop->ops.size());
+    for (const LoggedOp& op : mop->ops) {
+      obs::StreamingAuditor::ObservedOp out;
+      out.type = op.type;
+      out.object = op.object;
+      out.value = op.value;
+      if (op.type == core::OpType::kRead) {
+        if (op.from_tid == kOwnWriteTid) {
+          out.internal = true;
+        } else if (op.from_tid == kInitialTid) {
+          out.writer = obs::StreamingAuditor::kInitialWriter;
+        } else {
+          out.writer = op.from_tid;
+        }
+      }
+      observed.ops.push_back(out);
+    }
+    const std::uint64_t response = mop->response;
+    auditor.observe(std::move(observed));
+    ++fed;
+    if (sampling && fed % sample_every == 0) {
+      auditor.export_metrics(*registry);
+      series->sample(*registry, stamp(response));
+    }
+  }
+  const obs::StreamingReport& report = auditor.finish();
+  if (sampling) {
+    auditor.export_metrics(*registry);
+    const std::uint64_t last =
+        merged.empty() ? 0 : merged.back()->response;
+    series->sample(*registry, stamp(last));
   }
   return report;
 }

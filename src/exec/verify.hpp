@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "exec/engine.hpp"
+#include "obs/live.hpp"
+#include "obs/timeseries.hpp"
 
 namespace mocc::exec {
 
@@ -59,5 +61,31 @@ struct VerifyReport {
 /// Merges `result`'s logs and checks the full verdict described above.
 VerifyReport verify_execution(const ExecResult& result,
                               const VerifyOptions& options = {});
+
+/// Auditor options matching this engine's log shape: m-linearizability
+/// (commit-tid order refines real time), the run's initial value, and
+/// the verify default window.
+obs::StreamingAuditorOptions stream_options(const ExecConfig& config);
+
+/// Feeds the merged committed log through `auditor` in (epoch, tid)
+/// order — the trace-free twin of the simulator's TraceSink tap. Reads
+/// reference their writer by commit tid (kInitialTid maps to the
+/// initializing write, kOwnWriteTid to an internal read), so the SAME
+/// streaming windows + ghost-writer checks that audit the simulated
+/// protocols judge the real-thread engine. Calls auditor.finish() and
+/// returns its report.
+///
+/// When `series` and `registry` are both non-null, one time-series
+/// sample is emitted every `sample_every` m-operations plus one final
+/// sample after the audit completes. Samples carry the logical response
+/// clock by default; `wallclock` stamps them with milliseconds of
+/// wall time instead (non-deterministic — live monitoring only, never
+/// a golden artifact).
+const obs::StreamingReport& stream_execution(const ExecResult& result,
+                                             obs::StreamingAuditor& auditor,
+                                             obs::TimeSeriesWriter* series = nullptr,
+                                             obs::Registry* registry = nullptr,
+                                             std::size_t sample_every = 4096,
+                                             bool wallclock = false);
 
 }  // namespace mocc::exec

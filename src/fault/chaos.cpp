@@ -1,9 +1,11 @@
 #include "fault/chaos.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "api/system.hpp"
+#include "obs/live.hpp"
 
 namespace mocc::chaos {
 
@@ -73,6 +75,17 @@ std::string run_one(const ChaosParams& params, const std::string& protocol,
   }
 
   const bool exact = protocol == "locking" || protocol == "aggregate";
+  // Apply the requested mutation only to cells it is defined for
+  // (System asserts otherwise); incompatible cells run unmutated.
+  if (!params.mutation.empty()) {
+    const bool mutated =
+        (params.mutation == "seq-swap" && !exact &&
+         broadcast == "sequencer" && config.batching.abcast_batch_max <= 1) ||
+        (params.mutation == "skip-delivery" && !exact &&
+         params.num_processes >= 2) ||
+        (params.mutation == "early-release" && exact);
+    if (mutated) config.mutation = params.mutation;
+  }
   protocols::WorkloadParams workload;
   // The exponential checker is the only oracle for the locking baseline:
   // keep those histories small.
@@ -83,6 +96,18 @@ std::string run_one(const ChaosParams& params, const std::string& protocol,
   workload.footprint = 2;
 
   api::System system(config);
+  std::optional<obs::StreamingAuditor> auditor;
+  if (params.stream) {
+    obs::StreamingAuditorOptions live_options;
+    live_options.condition = protocol == "mseq"
+                                 ? core::Condition::kMSequentialConsistency
+                                 : core::Condition::kMLinearizability;
+    if (params.stream_window != 0) live_options.window = params.stream_window;
+    auditor.emplace(live_options);
+    auditor->set_violation_callback(
+        [&system](const obs::StreamingReport&) { system.request_stop(); });
+    system.set_trace_sink(&*auditor);
+  }
   const protocols::WorkloadReport run = system.run_workload(workload);
 
   if (const fault::FaultPlan* plan = system.fault_plan()) {
@@ -91,10 +116,28 @@ std::string run_one(const ChaosParams& params, const std::string& protocol,
   accumulate(report.link, system.link_stats());
 
   const std::size_t expected = workload.ops_per_process * params.num_processes;
-  if (run.queries + run.updates != expected) {
+  const std::size_t responded = run.queries + run.updates;
+  if (params.stream) {
+    // The streaming verdict goes first: a mid-run abort also leaves the
+    // workload incomplete, and the violation is the interesting reason.
+    const obs::StreamingReport& live = auditor->finish();
+    report.stream_windows += live.windows;
+    if (live.verdict == obs::StreamVerdict::kViolation) {
+      std::ostringstream reason;
+      reason << "streaming auditor violation";
+      if (responded < expected) {
+        ++report.mid_run_aborts;
+        reason << " mid-run (run stopped after " << responded << "/"
+               << expected << " m-operations)";
+      }
+      reason << ": " << live.detail;
+      return reason.str();
+    }
+  }
+  if (responded != expected) {
     std::ostringstream reason;
-    reason << "incomplete workload: " << (run.queries + run.updates) << "/"
-           << expected << " m-operations responded";
+    reason << "incomplete workload: " << responded << "/" << expected
+           << " m-operations responded";
     return reason.str();
   }
   if (!system.link_failures().empty()) {
@@ -104,22 +147,40 @@ std::string run_one(const ChaosParams& params, const std::string& protocol,
     return reason.str();
   }
 
+  std::string posthoc;
   if (system.supports_audit()) {
     const core::AuditReport audit = system.audit();
     if (!audit.ok) {
-      std::string reason = "audit violation";
-      if (!audit.violations.empty()) reason += ": " + audit.violations.front();
-      return reason;
+      posthoc = "audit violation";
+      if (!audit.violations.empty()) posthoc += ": " + audit.violations.front();
     }
-    return {};
+  } else {
+    core::AdmissibilityOptions options;
+    options.max_states = 5'000'000;
+    const core::AdmissibilityResult result =
+        system.check_exact(core::Condition::kMLinearizability, options);
+    if (!result.completed) {
+      posthoc = "admissibility search exceeded the state budget";
+    } else if (!result.admissible) {
+      posthoc = "history not m-linearizable";
+    }
   }
-  core::AdmissibilityOptions options;
-  options.max_states = 5'000'000;
-  const core::AdmissibilityResult result =
-      system.check_exact(core::Condition::kMLinearizability, options);
-  if (!result.completed) return "admissibility search exceeded the state budget";
-  if (!result.admissible) return "history not m-linearizable";
-  return {};
+  if (params.stream) {
+    // Live/post-hoc cross-check: the drops-to-inconclusive contract
+    // means the auditor never silently passes a run it couldn't see all
+    // of, and a clean live verdict must agree with the offline oracle.
+    const obs::StreamingReport& live = auditor->report();
+    if (live.verdict == obs::StreamVerdict::kInconclusive) {
+      return "streaming verdict inconclusive: " + live.detail;
+    }
+    if (!posthoc.empty()) {
+      // Not necessarily an auditor bug: the P5.x audit also enforces
+      // protocol-internal timestamp obligations that are invisible at
+      // the history level the streaming conditions check.
+      return posthoc + " [not caught live: streaming verdict ok]";
+    }
+  }
+  return posthoc;
 }
 
 }  // namespace
@@ -167,9 +228,14 @@ ChaosParams smoke_params() {
 
 void write_report(std::ostream& out, const ChaosParams& params,
                   const ChaosReport& report) {
-  out << "chaos sweep" << (params.batching ? " (batching on)" : "") << ": "
-      << report.runs << " executions, " << report.passed << " passed, "
+  out << "chaos sweep" << (params.batching ? " (batching on)" : "")
+      << (params.stream ? " (streaming audit)" : "") << ": " << report.runs
+      << " executions, " << report.passed << " passed, "
       << report.failures.size() << " failed\n";
+  if (params.stream) {
+    out << "  stream: windows=" << report.stream_windows
+        << " mid_run_aborts=" << report.mid_run_aborts << "\n";
+  }
   out << "  faults: drops=" << report.faults.drops
       << " duplicates=" << report.faults.duplicates
       << " delay_spikes=" << report.faults.delay_spikes

@@ -2,6 +2,11 @@
 //
 //   chaos [--smoke] [--seeds N] [--ops N] [--drop R[,R...]] [--dup R]
 //         [--protocols a,b,...] [--no-partition] [--base-seed N] [--batch]
+//         [--stream] [--stream-window N] [--mutation NAME]
+//
+// --stream attaches the live streaming auditor to every run and
+// cross-checks its verdict against the post-hoc oracle; --mutation
+// injects a deliberate protocol bug that --stream must catch mid-run.
 //
 // Exit status: 0 when every execution passed its checker, 1 otherwise.
 #include <cstdint>
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
       params.seeds_per_cell = std::stoul(next());
     } else if (arg == "--ops") {
       params.ops_per_process = std::stoul(next());
+    } else if (arg == "--objects") {
+      params.num_objects = std::stoul(next());
     } else if (arg == "--drop") {
       params.drop_rates = split_csv_doubles(next());
     } else if (arg == "--dup") {
@@ -62,10 +69,17 @@ int main(int argc, char** argv) {
       params.base_seed = std::stoull(next());
     } else if (arg == "--batch") {
       params.batching = true;
+    } else if (arg == "--stream") {
+      params.stream = true;
+    } else if (arg == "--stream-window") {
+      params.stream_window = std::stoul(next());
+    } else if (arg == "--mutation") {
+      params.mutation = next();
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: chaos [--smoke] [--seeds N] [--ops N] [--drop R,R,...]\n"
-                << "             [--dup R] [--protocols a,b,...] [--no-partition]\n"
-                << "             [--base-seed N] [--batch]\n";
+      std::cout << "usage: chaos [--smoke] [--seeds N] [--ops N] [--objects N]\n"
+                << "             [--drop R,R,...] [--dup R] [--protocols a,b,...]\n"
+                << "             [--no-partition] [--base-seed N] [--batch]\n"
+                << "             [--stream] [--stream-window N] [--mutation NAME]\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

@@ -163,7 +163,8 @@ const std::map<std::string, TraceEventType, std::less<>>& event_by_name() {
         TraceEventType::kLinkDuplicate,  TraceEventType::kLinkExhausted,
         TraceEventType::kOpRead,         TraceEventType::kOpWrite,
         TraceEventType::kBacklogSample,  TraceEventType::kBatchAssign,
-        TraceEventType::kBatchFlush,
+        TraceEventType::kBatchFlush,     TraceEventType::kExecCommit,
+        TraceEventType::kExecAbort,      TraceEventType::kAuditWindow,
     };
     std::map<std::string, TraceEventType, std::less<>> map;
     for (const TraceEventType type : kAll) map.emplace(to_string(type), type);

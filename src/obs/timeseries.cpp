@@ -1,0 +1,273 @@
+#include "obs/timeseries.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <system_error>
+
+#include "obs/json.hpp"
+
+namespace mocc::obs {
+
+TimeSeriesWriter::TimeSeriesWriter(std::ostream& out) : out_(out) {}
+
+void TimeSeriesWriter::add_collector(std::function<void(Registry&)> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void TimeSeriesWriter::sample(Registry& registry, std::uint64_t t) {
+  for (const auto& collector : collectors_) collector(registry);
+  if (!wrote_header_) {
+    wrote_header_ = true;
+    JsonWriter header(out_);
+    header.begin_object();
+    header.field("type", "ts_header");
+    header.field("schema_version", kTimeSeriesSchemaVersion);
+    header.end_object();
+    out_ << '\n';
+  }
+  JsonWriter json(out_);
+  json.begin_object();
+  json.field("type", "ts_sample");
+  json.field("t", t);
+  json.field("seq", static_cast<std::uint64_t>(samples_));
+  registry.write_json_fields(json);
+  json.end_object();
+  out_ << '\n';
+  ++samples_;
+}
+
+double TimeSeriesPoint::value(const std::string& path, double fallback) const {
+  const auto it = values.find(path);
+  return it == values.end() ? fallback : it->second;
+}
+
+std::string registry_fields_json(const Registry& registry) {
+  std::ostringstream oss;
+  JsonWriter json(oss);
+  json.begin_object();
+  registry.write_json_fields(json);
+  json.end_object();
+  std::string wrapped = oss.str();
+  // Compact mode wraps the fields in exactly "{...}".
+  if (wrapped.size() < 2) return {};
+  return wrapped.substr(1, wrapped.size() - 2);
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the JSON subset JsonWriter
+/// emits (objects, arrays, strings, numbers, booleans, null). Numeric
+/// leaves are flattened into `values` under '/'-joined key paths;
+/// string leaves land in `strings` (the envelope's "type" field).
+class FlattenParser {
+ public:
+  FlattenParser(std::string_view text, std::map<std::string, double>& values,
+                std::map<std::string, std::string>& strings)
+      : text_(text), values_(values), strings_(strings) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_value("")) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) {
+      std::ostringstream oss;
+      oss << message << " at offset " << pos_;
+      error_ = oss.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // JsonWriter only \u-escapes control characters; decode the
+            // low byte and drop the rest (paths never contain these).
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      }
+      s.push_back(c);
+    }
+    if (!consume('"')) return fail("unterminated string");
+    *out = std::move(s);
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      strings_[path] = std::move(s);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      values_[path] = 1.0;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      values_[path] = 0.0;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(path);
+  }
+
+  bool parse_number(const std::string& path) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected number");
+    double parsed = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc() || end != last) return fail("malformed number");
+    values_[path] = parsed;
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    if (!consume('{')) return fail("expected object");
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      const std::string child = path.empty() ? key : path + "/" + key;
+      if (!parse_value(child)) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    if (!consume('[')) return fail("expected array");
+    skip_ws();
+    if (consume(']')) return true;
+    std::size_t index = 0;
+    while (true) {
+      std::ostringstream child;
+      child << path << "/" << index++;
+      if (!parse_value(child.str())) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, double>& values_;
+  std::map<std::string, std::string>& strings_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool load_timeseries_jsonl(std::istream& in, TimeSeriesFile* out,
+                           std::string* error) {
+  *out = TimeSeriesFile{};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::map<std::string, double> values;
+    std::map<std::string, std::string> strings;
+    FlattenParser parser(line, values, strings);
+    if (!parser.parse()) {
+      if (error != nullptr) {
+        std::ostringstream oss;
+        oss << "line " << line_no << ": " << parser.error();
+        *error = oss.str();
+      }
+      return false;
+    }
+    const auto type = strings.find("type");
+    if (type == strings.end()) continue;
+    if (type->second == "ts_header") {
+      out->has_header = true;
+      out->schema_version = static_cast<int>(
+          values.count("schema_version") != 0 ? values["schema_version"] : 0);
+      continue;
+    }
+    if (type->second != "ts_sample") continue;  // foreign line: skip
+    TimeSeriesPoint point;
+    point.t = static_cast<std::uint64_t>(values.count("t") != 0 ? values["t"] : 0);
+    point.seq =
+        static_cast<std::uint64_t>(values.count("seq") != 0 ? values["seq"] : 0);
+    values.erase("t");
+    values.erase("seq");
+    point.values = std::move(values);
+    out->points.push_back(std::move(point));
+  }
+  return true;
+}
+
+}  // namespace mocc::obs

@@ -1,0 +1,91 @@
+// Schema-versioned JSONL time series over a metrics Registry.
+//
+// A TimeSeriesWriter turns the registry's point-in-time state into a
+// stream of samples a run emits WHILE it executes, so long-horizon runs
+// (chaos sweeps, exec-engine soaks) are observable before they finish.
+// Each sample line serializes the registry through the exact same
+// Registry::write_json_fields path the end-of-run export uses, which
+// makes the final sample byte-identical to a fresh export of the same
+// registry — the invariant tools/mocc_live and the tests lean on.
+//
+// Timestamps are caller-provided: simulator-driven producers pass
+// virtual time (deterministic — the stream golden-tests like any other
+// artifact), the exec engine may pass wallclock milliseconds (its runs
+// have no virtual clock; see exec::stream_execution).
+//
+// Line shapes (one JSON object per line):
+//   {"type":"ts_header","schema_version":1}
+//   {"type":"ts_sample","t":<time>,"seq":<n>,"counters":{...},
+//    "gauges":{...},"histograms":{...}}
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mocc::obs {
+
+/// Bumped when a sample line's shape changes incompatibly.
+inline constexpr int kTimeSeriesSchemaVersion = 1;
+
+class TimeSeriesWriter {
+ public:
+  /// The header line is written on the first sample (not at
+  /// construction), so a writer that never fires leaves the stream
+  /// empty. `out` must outlive the writer.
+  explicit TimeSeriesWriter(std::ostream& out);
+
+  /// Collectors run at the start of every sample, in registration order,
+  /// to freshen the registry from sources that do not push continuously
+  /// (ring-sink drop accounting, streaming-audit progress, link stats).
+  void add_collector(std::function<void(Registry&)> collector);
+
+  /// Emits one sample line for `registry` stamped `t`. Times should be
+  /// non-decreasing across calls; the writer does not reorder.
+  void sample(Registry& registry, std::uint64_t t);
+
+  std::size_t samples() const { return samples_; }
+
+ private:
+  std::ostream& out_;
+  bool wrote_header_ = false;
+  std::vector<std::function<void(Registry&)>> collectors_;
+  std::size_t samples_ = 0;
+};
+
+/// One parsed sample: every numeric leaf flattened to a '/'-joined path
+/// ("counters/mops", "histograms/q_latency/p99", ...).
+struct TimeSeriesPoint {
+  std::uint64_t t = 0;
+  std::uint64_t seq = 0;
+  std::map<std::string, double> values;
+
+  /// Value at `path`, or `fallback` when the sample lacks it.
+  double value(const std::string& path, double fallback = 0.0) const;
+};
+
+struct TimeSeriesFile {
+  bool has_header = false;
+  int schema_version = 0;
+  std::vector<TimeSeriesPoint> points;
+};
+
+/// Parses a stream written by TimeSeriesWriter. Unknown line types are
+/// skipped (forward compatibility); a malformed line fails the load.
+/// Returns false and fills `error` on failure.
+bool load_timeseries_jsonl(std::istream& in, TimeSeriesFile* out,
+                           std::string* error);
+
+/// The canonical end-of-run export this stream's final sample must
+/// byte-match (modulo the sample envelope): the registry's three field
+/// groups serialized compactly WITHOUT surrounding braces, exactly as
+/// they appear inside a sample line.
+std::string registry_fields_json(const Registry& registry);
+
+}  // namespace mocc::obs

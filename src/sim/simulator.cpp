@@ -270,6 +270,7 @@ SimTime Simulator::run(SimTime max_time) {
     }
   }
   for (;;) {
+    if (stop_requested_) return now_;
     drain_posted();
     if (queue_.empty()) {
       // Controlled mode: internal events (calls, timers) always dispatch

@@ -216,6 +216,15 @@ class Simulator {
   /// limit). Returns the final virtual time.
   SimTime run(SimTime max_time = 0);
 
+  /// Asks run() to return before dispatching its next event. Sticky:
+  /// subsequent run() calls return immediately until clear_stop().
+  /// Callable from inside a dispatched event (a streaming auditor's
+  /// violation callback aborts the run this way); the current event
+  /// finishes, nothing else dispatches.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+  void clear_stop() { stop_requested_ = false; }
+
   SimTime now() const { return now_; }
   const TrafficStats& traffic() const { return traffic_; }
   util::Rng& rng() { return rng_; }
@@ -309,6 +318,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   bool started_ = false;
+  bool stop_requested_ = false;
   TrafficStats traffic_;
   obs::TraceSink* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;

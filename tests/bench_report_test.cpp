@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -91,6 +92,50 @@ TEST(BenchReport, MatchesGoldenE9Smoke) {
 
 TEST(BenchReport, E9DeclaresBatchingSchemaMinor) {
   EXPECT_NE(render_smoke("E9").find("\"schema_minor\": 3"), std::string::npos);
+}
+
+/// Pins the E11 streaming-audit record bytes, including the minor-5
+/// header its audit_* counter series declares.
+TEST(BenchReport, MatchesGoldenE11Smoke) {
+  expect_matches_golden(render_smoke("E11"), "e11_smoke.json");
+}
+
+TEST(BenchReport, E11DeclaresStreamingSchemaMinor) {
+  EXPECT_NE(render_smoke("E11").find("\"schema_minor\": 5"), std::string::npos);
+}
+
+/// E11 sanity: every mode of every shape runs the same virtual-time
+/// workload (the sink is pure observation, never scheduling), stream
+/// records carry live-audit progress counters, and posthoc records
+/// carry a green trace audit.
+TEST(BenchReport, E11StreamingModesAgreeOnVirtualTime) {
+  const auto records = run_suite(smoke_options("E11"));
+  ASSERT_FALSE(records.empty());
+  std::map<std::string, double> shape_time;
+  for (const auto& record : records) {
+    EXPECT_EQ(record.audit, ExperimentRecord::Audit::kOk) << record.name;
+    const std::string shape = record.config.at("faults");
+    const double virtual_time =
+        record.metrics.gauges().at("virtual_time").value();
+    auto [it, inserted] = shape_time.emplace(shape, virtual_time);
+    if (!inserted) {
+      EXPECT_EQ(it->second, virtual_time) << record.name;
+    }
+    const auto& counters = record.metrics.counters();
+    const std::string mode = record.config.at("audit_mode");
+    if (mode == "stream") {
+      ASSERT_TRUE(counters.contains("audit_mops")) << record.name;
+      EXPECT_GT(counters.at("audit_mops").value(), 0u) << record.name;
+      EXPECT_EQ(counters.at("audit_windows_failed").value(), 0u) << record.name;
+      EXPECT_EQ(record.metrics.gauges().at("audit_verdict").value(), 0.0)
+          << record.name;
+    } else if (mode == "posthoc") {
+      EXPECT_EQ(record.metrics.gauges().at("posthoc_audit_ok").value(), 1.0)
+          << record.name;
+      EXPECT_GT(counters.at("posthoc_audit_mops").value(), 0u) << record.name;
+    }
+  }
+  EXPECT_EQ(shape_time.size(), 2u);
 }
 
 /// The E9 acceptance invariant: batched sequencer abcast at batch size
